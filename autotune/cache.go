@@ -1,0 +1,120 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+
+	"aiacc/internal/ged"
+	"aiacc/model"
+	"aiacc/netmodel"
+)
+
+// Cache stores previously tuned settings keyed by (computation graph,
+// topology graph). A new deployment warm-starts from the entry whose
+// combined graph edit distance is smallest, provided it is within the
+// acceptance threshold (§VI).
+type Cache struct {
+	entries  []cacheEntry
+	maxDist  float64
+	gedCosts ged.Costs
+}
+
+type cacheEntry struct {
+	modelGraph *ged.Graph
+	topoGraph  *ged.Graph
+	params     Params
+}
+
+// NewCache returns a cache accepting matches whose combined edit distance is
+// at most maxDist (pass 0 for the default of 8).
+func NewCache(maxDist float64) *Cache {
+	if maxDist <= 0 {
+		maxDist = 8
+	}
+	return &Cache{maxDist: maxDist, gedCosts: ged.DefaultCosts()}
+}
+
+// Len returns the number of stored settings.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Store records a tuned setting for the deployment.
+func (c *Cache) Store(m model.Model, top netmodel.Topology, p Params) {
+	c.entries = append(c.entries, cacheEntry{
+		modelGraph: ModelGraph(m),
+		topoGraph:  TopologyGraph(top),
+		params:     p,
+	})
+}
+
+// Lookup returns the cached setting of the most similar prior deployment
+// and its distance, or ok=false if nothing is within the threshold.
+func (c *Cache) Lookup(m model.Model, top netmodel.Topology) (p Params, dist float64, ok bool) {
+	mg := ModelGraph(m)
+	tg := TopologyGraph(top)
+	best := math.Inf(1)
+	for _, e := range c.entries {
+		d := ged.Distance(mg, e.modelGraph, c.gedCosts) + ged.Distance(tg, e.topoGraph, c.gedCosts)
+		if d < best {
+			best = d
+			p = e.params
+		}
+	}
+	if best <= c.maxDist {
+		return p, best, true
+	}
+	return Params{}, best, false
+}
+
+// ModelGraph encodes a DNN's computation graph for similarity comparison:
+// a chain of layer nodes labelled with a coarse layer type and log-scale
+// parameter size, with consecutive identical labels merged so repetitive
+// architectures (transformer stacks, CTR embedding banks) stay compact.
+func ModelGraph(m model.Model) *ged.Graph {
+	g := ged.NewGraph()
+	prev := -1
+	prevLabel := ""
+	for _, l := range m.Layers {
+		label := layerLabel(l)
+		if label == prevLabel && prev >= 0 {
+			continue // merge repeated structure
+		}
+		n := g.AddNode(label)
+		if prev >= 0 {
+			_ = g.AddEdge(prev, n, 1)
+		}
+		prev = n
+		prevLabel = label
+	}
+	return g
+}
+
+// layerLabel buckets a layer by parameter-tensor count and log10 size.
+func layerLabel(l model.Layer) string {
+	elems := 0
+	for _, p := range l.Params {
+		elems += p.Elems()
+	}
+	bucket := 0
+	if elems > 0 {
+		bucket = int(math.Log10(float64(elems)))
+	}
+	return fmt.Sprintf("p%d-s%d", len(l.Params), bucket)
+}
+
+// TopologyGraph encodes the cluster network for similarity comparison: one
+// node per computing node labelled with its GPU count, fully connected by
+// edges weighted with the inter-node bandwidth.
+func TopologyGraph(t netmodel.Topology) *ged.Graph {
+	g := ged.NewGraph()
+	ids := make([]int, t.Nodes)
+	label := fmt.Sprintf("node-%dgpu-%s", t.GPUsPerNode, t.Intra.Kind)
+	for n := 0; n < t.Nodes; n++ {
+		ids[n] = g.AddNode(label)
+	}
+	for i := 0; i < t.Nodes; i++ {
+		for j := i + 1; j < t.Nodes; j++ {
+			_ = g.AddEdge(ids[i], ids[j], t.Inter.CapacityGbps)
+		}
+	}
+	return g
+}

@@ -1,0 +1,428 @@
+// Package baseline implements the parameter-server gradient aggregation
+// architecture the paper compares against (BytePS [2], MXNet KVStore,
+// §VII-C): every worker also hosts a server for a shard of the gradients;
+// workers *push* local gradients to the shard owner, the server accumulates
+// all contributions and sends the averaged result back (*pull*). Unlike the
+// all-reduce engines there is no readiness negotiation — but every gradient
+// byte crosses the network twice and server bandwidth becomes the bottleneck
+// as workers scale, which is exactly what Fig. 9's BytePS/MXNet-PS curves
+// show.
+//
+// The engine mirrors the AIACC engine's usage surface (Register / Start /
+// PushGradient / WaitIteration / Close) so trainers and examples can swap
+// architectures.
+package baseline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"aiacc/internal/gradsync"
+	"aiacc/mpi"
+	"aiacc/tensor"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("baseline: engine closed")
+	// ErrNotStarted indicates a call that requires Start first.
+	ErrNotStarted = errors.New("baseline: engine not started")
+	// ErrStarted indicates registration after Start.
+	ErrStarted = errors.New("baseline: engine already started")
+)
+
+// PSConfig tunes the parameter-server engine.
+type PSConfig struct {
+	// Streams is the number of transport streams used for push/pull
+	// traffic (BytePS uses a few; MXNet KVStore effectively one).
+	Streams int
+	// Average divides aggregated gradients by the worker count.
+	Average bool
+}
+
+// DefaultPSConfig returns the BytePS-like defaults.
+func DefaultPSConfig() PSConfig {
+	return PSConfig{Streams: 4, Average: true}
+}
+
+// RequiredStreams returns the transport streams the engine needs.
+func (c PSConfig) RequiredStreams() int {
+	if c.Streams < 1 {
+		return 1
+	}
+	return c.Streams
+}
+
+// wire message kinds.
+const (
+	msgPush byte = 1
+	msgPull byte = 2
+)
+
+// PSEngine is one worker's handle on the colocated parameter-server group.
+type PSEngine struct {
+	comm *mpi.Comm
+	cfg  PSConfig
+
+	registry *gradsync.Registry
+	grads    []gradsync.Gradient
+
+	// Server state for the shard this rank owns.
+	serverMu sync.Mutex
+	accum    map[int][]float32 // grad id -> accumulated values
+	contrib  map[int]int       // grad id -> contributions received
+	ownedIDs []int
+
+	// Worker state for the current iteration.
+	workerMu  sync.Mutex
+	pullsLeft int
+	data      map[int][]float32 // grad id -> local tensor storage
+	iterErr   error
+	iterDone  chan struct{}
+
+	// outbox decouples pull-response sends from the reader goroutines that
+	// trigger them: a handler enqueueing a send must never block on a peer,
+	// or two servers completing gradients for each other deadlock on the
+	// bounded transport buffers.
+	outbox   chan outMsg
+	senderWG sync.WaitGroup
+
+	readerWG sync.WaitGroup
+	stopOnce sync.Once
+	stopped  chan struct{}
+	started  bool
+}
+
+type outMsg struct {
+	to     int
+	stream int
+	data   []byte
+}
+
+// NewPSEngine creates a parameter-server engine over the communicator.
+func NewPSEngine(comm *mpi.Comm, cfg PSConfig) (*PSEngine, error) {
+	if cfg.Streams < 1 {
+		cfg.Streams = 1
+	}
+	if comm.Streams() < cfg.RequiredStreams() {
+		return nil, fmt.Errorf("baseline: transport has %d streams, config needs %d",
+			comm.Streams(), cfg.RequiredStreams())
+	}
+	return &PSEngine{
+		comm:     comm,
+		cfg:      cfg,
+		registry: gradsync.NewRegistry(),
+		accum:    make(map[int][]float32),
+		contrib:  make(map[int]int),
+		data:     make(map[int][]float32),
+		stopped:  make(chan struct{}),
+	}, nil
+}
+
+// Rank returns the worker's rank.
+func (e *PSEngine) Rank() int { return e.comm.Rank() }
+
+// Size returns the world size.
+func (e *PSEngine) Size() int { return e.comm.Size() }
+
+// serverOf returns the rank hosting gradient id's shard.
+func (e *PSEngine) serverOf(id int) int { return id % e.comm.Size() }
+
+// Register declares a parameter's gradient before Start.
+func (e *PSEngine) Register(name string, elems int) error {
+	if e.started {
+		return ErrStarted
+	}
+	return e.registry.Register(name, elems)
+}
+
+// Start finalizes registration and launches the server-side receive loops.
+func (e *PSEngine) Start() error {
+	if e.started {
+		return ErrStarted
+	}
+	grads, err := e.registry.Finalize()
+	if err != nil {
+		return err
+	}
+	if len(grads) == 0 {
+		return errors.New("baseline: no gradients registered")
+	}
+	e.grads = grads
+	for _, g := range grads {
+		if e.serverOf(g.ID) == e.comm.Rank() {
+			e.ownedIDs = append(e.ownedIDs, g.ID)
+		}
+	}
+	e.started = true
+	e.resetIteration()
+	// The outbox can hold every pull response one iteration's owned shard
+	// can produce, so handler-side enqueues never block.
+	capacity := len(e.ownedIDs)*(e.comm.Size()-1) + 1
+	e.outbox = make(chan outMsg, capacity)
+	e.senderWG.Add(1)
+	go e.sendLoop()
+	// One reader per peer: it handles both pushes addressed to this rank's
+	// server shard and pull responses for this rank's worker.
+	for peer := 0; peer < e.comm.Size(); peer++ {
+		if peer == e.comm.Rank() {
+			continue
+		}
+		e.readerWG.Add(1)
+		go e.readLoop(peer)
+	}
+	return nil
+}
+
+func (e *PSEngine) resetIteration() {
+	e.workerMu.Lock()
+	e.pullsLeft = len(e.grads)
+	e.data = make(map[int][]float32, len(e.grads))
+	e.iterDone = make(chan struct{})
+	e.workerMu.Unlock()
+}
+
+// streamFor spreads gradient traffic across the configured streams.
+func (e *PSEngine) streamFor(id int) int { return id % e.cfg.Streams }
+
+// encode frames a message: kind byte, uint32 grad id, payload floats.
+func encode(kind byte, id int, vals []float32) []byte {
+	buf := make([]byte, 5+4*len(vals))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], uint32(id))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+func decode(buf []byte) (kind byte, id int, vals []float32, err error) {
+	if len(buf) < 5 || (len(buf)-5)%4 != 0 {
+		return 0, 0, nil, fmt.Errorf("baseline: corrupt %d-byte message", len(buf))
+	}
+	kind = buf[0]
+	id = int(binary.LittleEndian.Uint32(buf[1:]))
+	vals = make([]float32, (len(buf)-5)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[5+4*i:]))
+	}
+	return kind, id, vals, nil
+}
+
+// readLoop consumes messages from one peer on all streams. Message kinds
+// are self-describing, so one goroutine per (peer, stream) suffices.
+func (e *PSEngine) readLoop(peer int) {
+	defer e.readerWG.Done()
+	var wg sync.WaitGroup
+	for s := 0; s < e.cfg.Streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for {
+				payload, err := e.comm.Recv(peer, s)
+				if err != nil {
+					return // closed
+				}
+				kind, id, vals, err := decode(payload)
+				if err != nil {
+					e.failIteration(err)
+					return
+				}
+				switch kind {
+				case msgPush:
+					e.serverAccumulate(id, vals, peer)
+				case msgPull:
+					e.workerReceive(id, vals)
+				default:
+					e.failIteration(fmt.Errorf("baseline: unknown message kind %d", kind))
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// serverAccumulate handles a push into this rank's shard.
+func (e *PSEngine) serverAccumulate(id int, vals []float32, from int) {
+	e.serverMu.Lock()
+	acc, ok := e.accum[id]
+	if !ok {
+		acc = make([]float32, len(vals))
+		e.accum[id] = acc
+	}
+	if len(acc) != len(vals) {
+		e.serverMu.Unlock()
+		e.failIteration(fmt.Errorf("baseline: push size mismatch for gradient %d", id))
+		return
+	}
+	tensor.AddSlice(acc, vals)
+	e.contrib[id]++
+	complete := e.contrib[id] == e.comm.Size()
+	var result []float32
+	if complete {
+		result = acc
+		if e.cfg.Average {
+			inv := float32(1) / float32(e.comm.Size())
+			for i := range result {
+				result[i] *= inv
+			}
+		}
+		delete(e.accum, id)
+		delete(e.contrib, id)
+	}
+	e.serverMu.Unlock()
+	if complete {
+		e.serveResult(id, result)
+	}
+}
+
+// serveResult distributes the aggregated gradient to every worker
+// (including the local one). Remote sends go through the outbox so this
+// never blocks the calling reader goroutine.
+func (e *PSEngine) serveResult(id int, result []float32) {
+	stream := e.streamFor(id)
+	payload := encode(msgPull, id, result)
+	for peer := 0; peer < e.comm.Size(); peer++ {
+		if peer == e.comm.Rank() {
+			continue
+		}
+		select {
+		case e.outbox <- outMsg{to: peer, stream: stream, data: payload}:
+		case <-e.stopped:
+			return
+		}
+	}
+	e.workerReceive(id, result)
+}
+
+// sendLoop drains the outbox until the engine stops.
+func (e *PSEngine) sendLoop() {
+	defer e.senderWG.Done()
+	for {
+		select {
+		case msg := <-e.outbox:
+			if err := e.comm.Send(msg.to, msg.stream, msg.data); err != nil {
+				e.failIteration(fmt.Errorf("baseline: pull send to %d: %w", msg.to, err))
+				return
+			}
+		case <-e.stopped:
+			return
+		}
+	}
+}
+
+// workerReceive installs an aggregated gradient into the local tensor.
+func (e *PSEngine) workerReceive(id int, vals []float32) {
+	e.workerMu.Lock()
+	defer e.workerMu.Unlock()
+	dst, ok := e.data[id]
+	if !ok {
+		e.iterErrLocked(fmt.Errorf("baseline: pull for unpushed gradient %d", id))
+		return
+	}
+	if len(dst) != len(vals) {
+		e.iterErrLocked(fmt.Errorf("baseline: pull size mismatch for gradient %d", id))
+		return
+	}
+	copy(dst, vals)
+	e.pullsLeft--
+	if e.pullsLeft == 0 {
+		close(e.iterDone)
+	}
+}
+
+func (e *PSEngine) failIteration(err error) {
+	e.workerMu.Lock()
+	defer e.workerMu.Unlock()
+	e.iterErrLocked(err)
+}
+
+// iterErrLocked records the first iteration error and releases waiters.
+// Callers hold workerMu.
+func (e *PSEngine) iterErrLocked(err error) {
+	if e.iterErr == nil {
+		e.iterErr = err
+		select {
+		case <-e.iterDone:
+		default:
+			close(e.iterDone)
+		}
+	}
+}
+
+// PushGradient submits a locally computed gradient. The tensor's storage
+// receives the aggregated (averaged) values before WaitIteration returns.
+func (e *PSEngine) PushGradient(name string, grad *tensor.Tensor) error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	select {
+	case <-e.stopped:
+		return ErrClosed
+	default:
+	}
+	g, err := e.registry.ByName(name)
+	if err != nil {
+		return err
+	}
+	if grad.Len() != g.Elems {
+		return fmt.Errorf("baseline: gradient %q has %d elements, registered %d: %w",
+			name, grad.Len(), g.Elems, tensor.ErrShapeMismatch)
+	}
+	e.workerMu.Lock()
+	if _, dup := e.data[g.ID]; dup {
+		e.workerMu.Unlock()
+		return fmt.Errorf("baseline: gradient %q pushed twice this iteration", name)
+	}
+	e.data[g.ID] = grad.Data()
+	e.workerMu.Unlock()
+
+	server := e.serverOf(g.ID)
+	if server == e.comm.Rank() {
+		// Local shard: contribute directly.
+		vals := make([]float32, grad.Len())
+		copy(vals, grad.Data())
+		e.serverAccumulate(g.ID, vals, e.comm.Rank())
+		return nil
+	}
+	return e.comm.Send(server, e.streamFor(g.ID), encode(msgPush, g.ID, grad.Data()))
+}
+
+// WaitIteration blocks until every registered gradient has been aggregated
+// and pulled back, then resets for the next iteration.
+func (e *PSEngine) WaitIteration() error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	e.workerMu.Lock()
+	done := e.iterDone
+	e.workerMu.Unlock()
+	select {
+	case <-done:
+	case <-e.stopped:
+		return ErrClosed
+	}
+	e.workerMu.Lock()
+	err := e.iterErr
+	e.workerMu.Unlock()
+	if err != nil {
+		return err
+	}
+	e.resetIteration()
+	return nil
+}
+
+// Close shuts the engine down; the sender goroutine exits immediately. The
+// caller should close the transport to release the reader goroutines.
+func (e *PSEngine) Close() error {
+	e.stopOnce.Do(func() { close(e.stopped) })
+	if e.started {
+		e.senderWG.Wait()
+	}
+	return nil
+}

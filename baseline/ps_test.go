@@ -1,0 +1,233 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+// runPS builds size engines over a mem network and runs fn per rank.
+func runPS(t *testing.T, size int, cfg PSConfig, params map[string]int, fn func(e *PSEngine) error) {
+	t.Helper()
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	engines := make([]*PSEngine, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewPSEngine(mpi.NewWorld(ep), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, elems := range params {
+			if err := eng.Register(name, elems); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Start(); err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = eng
+	}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *PSEngine) {
+			defer wg.Done()
+			if err := fn(e); err != nil {
+				errc <- fmt.Errorf("rank %d: %w", e.Rank(), err)
+			}
+		}(e)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func psParams() map[string]int {
+	return map[string]int{
+		"emb0": 40, "emb1": 64, "emb2": 8, "fc.weight": 200, "fc.bias": 10,
+	}
+}
+
+func TestPSAverages(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5} {
+		for _, streams := range []int{1, 4} {
+			t.Run(fmt.Sprintf("size=%d/streams=%d", size, streams), func(t *testing.T) {
+				cfg := DefaultPSConfig()
+				cfg.Streams = streams
+				runPS(t, size, cfg, psParams(), func(e *PSEngine) error {
+					grads := map[string]*tensor.Tensor{}
+					for name, elems := range psParams() {
+						grads[name] = tensor.Filled(float32(e.Rank()+1), elems)
+					}
+					// Push in rank-dependent order.
+					names := []string{"fc.bias", "emb1", "fc.weight", "emb0", "emb2"}
+					for i := range names {
+						n := names[(i+e.Rank())%len(names)]
+						if err := e.PushGradient(n, grads[n]); err != nil {
+							return err
+						}
+					}
+					if err := e.WaitIteration(); err != nil {
+						return err
+					}
+					want := float32(size+1) / 2 // mean of 1..size
+					for name, g := range grads {
+						for i := 0; i < g.Len(); i++ {
+							if g.At(i) != want {
+								return fmt.Errorf("%s[%d] = %v, want %v", name, i, g.At(i), want)
+							}
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestPSSumsWithoutAveraging(t *testing.T) {
+	cfg := DefaultPSConfig()
+	cfg.Average = false
+	runPS(t, 3, cfg, map[string]int{"w": 32}, func(e *PSEngine) error {
+		g := tensor.Filled(2, 32)
+		if err := e.PushGradient("w", g); err != nil {
+			return err
+		}
+		if err := e.WaitIteration(); err != nil {
+			return err
+		}
+		if g.At(0) != 6 {
+			return fmt.Errorf("sum = %v, want 6", g.At(0))
+		}
+		return nil
+	})
+}
+
+func TestPSMultipleIterations(t *testing.T) {
+	runPS(t, 2, DefaultPSConfig(), psParams(), func(e *PSEngine) error {
+		for it := 1; it <= 10; it++ {
+			grads := map[string]*tensor.Tensor{}
+			for name, elems := range psParams() {
+				grads[name] = tensor.Filled(float32(it*(e.Rank()+1)), elems)
+			}
+			for name, g := range grads {
+				if err := e.PushGradient(name, g); err != nil {
+					return err
+				}
+			}
+			if err := e.WaitIteration(); err != nil {
+				return err
+			}
+			want := float32(it) * 1.5 // mean of it and 2it
+			for name, g := range grads {
+				if g.At(0) != want {
+					return fmt.Errorf("iter %d %s = %v, want %v", it, name, g.At(0), want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestPSShardingCoversAllServers(t *testing.T) {
+	net, err := transport.NewMem(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Endpoint(0)
+	cfg := DefaultPSConfig()
+	cfg.Streams = 1
+	eng, err := NewPSEngine(mpi.NewWorld(ep), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := eng.Register(fmt.Sprintf("p%d", i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng.Close() }()
+	// Rank 0 owns ids 0, 3, 6.
+	if len(eng.ownedIDs) != 3 {
+		t.Errorf("rank 0 owns %v", eng.ownedIDs)
+	}
+	for _, id := range eng.ownedIDs {
+		if id%3 != 0 {
+			t.Errorf("rank 0 owns id %d", id)
+		}
+	}
+}
+
+func TestPSErrors(t *testing.T) {
+	net, err := transport.NewMem(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Endpoint(0)
+	cfg := PSConfig{Streams: 2, Average: true}
+	eng, err := NewPSEngine(mpi.NewWorld(ep), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PushGradient("w", tensor.New(4)); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("pre-start push error = %v", err)
+	}
+	if err := eng.WaitIteration(); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("pre-start wait error = %v", err)
+	}
+	if err := eng.Start(); err == nil {
+		t.Error("empty start must fail")
+	}
+	eng2, _ := NewPSEngine(mpi.NewWorld(ep), cfg)
+	if err := eng2.Register("w", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = eng2.Close() }()
+	if err := eng2.Register("late", 4); !errors.Is(err, ErrStarted) {
+		t.Errorf("post-start register error = %v", err)
+	}
+	if err := eng2.PushGradient("w", tensor.New(5)); !errors.Is(err, tensor.ErrShapeMismatch) {
+		t.Errorf("shape mismatch error = %v", err)
+	}
+	if err := eng2.PushGradient("w", tensor.New(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.PushGradient("w", tensor.New(8)); err == nil {
+		t.Error("double push must fail")
+	}
+	if err := eng2.WaitIteration(); err != nil {
+		t.Errorf("single-rank iteration: %v", err)
+	}
+	// Streams shortfall.
+	if _, err := NewPSEngine(mpi.NewWorld(ep), PSConfig{Streams: 5}); err == nil {
+		t.Error("stream shortfall must fail")
+	}
+}

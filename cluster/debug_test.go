@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"testing"
+
+	"aiacc/model"
+)
+
+func TestDebugPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	for _, g := range []int{1, 8, 32, 256} {
+		for _, kind := range []EngineKind{AIACC, Horovod, PyTorchDDP, BytePS} {
+			cfg := baselineConfig(g, model.ResNet50(), kind)
+			if kind == AIACC {
+				cfg = aiaccConfig(g, model.ResNet50())
+			}
+			res, err := Simulate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rn50 g=%3d %-12s iter=%8v tput=%8.0f perGPU=%6.0f exposed=%8v rounds=%4d units=%4d util=%.2f",
+				g, kind, res.IterTime, res.Throughput, res.PerGPU, res.ExposedComm, res.SyncRounds, res.Units, res.NICUtilization)
+		}
+	}
+}

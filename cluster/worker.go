@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aiacc/internal/sim"
+	"aiacc/model"
+	"aiacc/netmodel"
+)
+
+// worker simulates one representative training worker and its node's NIC.
+// All timing state that persists across iterations (the simulator clock, the
+// master coordinator's serial queue, the sync stream) lives here.
+type worker struct {
+	cfg Config
+	cal Calibration
+
+	s   *sim.Simulator
+	nic *sim.SharedLink
+
+	// Derived per-iteration constants.
+	fwdTime     time.Duration
+	bwdTime     time.Duration
+	computeTime time.Duration
+	updateTime  time.Duration
+	schedule    []model.GradEvent
+	paramBytes  []int64 // per flat param, after model-parallel sharding
+	totalBytes  int64
+
+	// Cross-iteration serial resources.
+	masterFree time.Duration // when the master coordinator is next free
+	syncFree   time.Duration // when the decentralized sync stream is free
+}
+
+// iterStats collects per-iteration metrics.
+type iterStats struct {
+	syncRounds int
+	units      int
+	exposed    time.Duration
+}
+
+func newWorker(cfg Config, cal Calibration) *worker {
+	s := sim.New()
+	top := cfg.Topology
+	link := top.Intra
+	if top.Nodes > 1 {
+		link = top.Inter
+	}
+	w := &worker{cfg: cfg, cal: cal, s: s, nic: sim.NewSharedLink(s, link)}
+
+	shards := cfg.ModelParallelShards
+	if shards < 1 {
+		shards = 1
+	}
+	flops := float64(cfg.Model.FwdFLOPs()) * float64(cfg.BatchPerGPU) / float64(shards)
+	effFLOPS := cfg.GPU.FLOPS * cfg.Model.EffectiveSpeedFactor()
+	overhead := cal.FrameworkOverhead
+	if shards > 1 {
+		// Activation exchange between model-parallel shards (intra-node).
+		overhead *= 1.10
+	}
+	w.fwdTime = time.Duration(flops / effFLOPS * overhead * float64(time.Second))
+	w.bwdTime = 2 * w.fwdTime
+	w.computeTime = w.fwdTime + w.bwdTime
+
+	params := cfg.Model.Params()
+	w.paramBytes = make([]int64, len(params))
+	for i, p := range params {
+		b := int64(p.Elems) * 4 / int64(shards)
+		if b < 4 {
+			b = 4
+		}
+		w.paramBytes[i] = b
+		w.totalBytes += b
+	}
+	w.schedule = cfg.Model.BackwardSchedule()
+	w.updateTime = cal.UpdateBase +
+		time.Duration(float64(w.totalBytes)/cal.UpdateBytesPerSec*float64(time.Second))
+	return w
+}
+
+// world returns the data-parallel world size (GPUs / model-parallel shards
+// still all-reduce together per shard group; for timing the ring spans the
+// data-parallel replicas).
+func (w *worker) world() int {
+	n := w.cfg.Topology.TotalGPUs()
+	if w.cfg.ModelParallelShards > 1 {
+		n /= w.cfg.ModelParallelShards
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
+}
+
+// streamCap returns the admissible concurrent communication streams at
+// virtual time t within the iteration whose backward ends at bwdEnd.
+func (w *worker) streamCap(t, bwdEnd time.Duration) int {
+	limit := w.cfg.GPU.StreamsIdle
+	if t < bwdEnd {
+		limit = w.cfg.GPU.StreamsBusy
+	}
+	if w.cfg.Engine.Streams < limit {
+		return w.cfg.Engine.Streams
+	}
+	return limit
+}
+
+// wireBytes converts fp32 payload bytes to effective on-the-wire bytes:
+// scaled down by the codec, scaled up by any per-engine bandwidth handicap.
+func (w *worker) wireBytes(b int64) int64 {
+	wire := float64(b) * float64(w.cfg.Engine.WireBytesPerElem) / 4
+	return int64(wire / w.cfg.Engine.effLink())
+}
+
+// unitTiming returns the serial latency charged to a stream before the NIC
+// transfer, the NIC-shared volume, and any additional serial (non-NIC)
+// transfer time for one communication unit of `bytes` fp32 payload.
+func (w *worker) unitTiming(bytes int64) (latency time.Duration, nicVolume int64, serial time.Duration) {
+	n := w.world()
+	if n == 1 {
+		return 0, 0, 0
+	}
+	wireB := w.wireBytes(bytes)
+	top := w.cfg.Topology
+	nodes := top.Nodes
+	g := top.GPUsPerNode
+	switch w.cfg.Engine.Kind {
+	case BytePS, MXNetPS:
+		// Parameter servers colocated on the worker nodes: each NIC carries
+		// push+pull traffic for its g workers, 2·g·B·(W-1)/W in each
+		// direction (§VIII-A's no-extra-CPU setup).
+		if nodes == 1 {
+			return 2 * top.Intra.BaseLatency, 2 * wireB, 0
+		}
+		vol := 2 * wireB * int64(g) * int64(nodes-1) / int64(nodes)
+		return 2 * top.Inter.BaseLatency, vol, 0
+	default:
+	}
+	if w.cfg.Engine.Algorithm == Hierarchical && nodes > 1 {
+		// Intra-node ring + leader ring across nodes + intra-node broadcast.
+		// The three phases pipeline imperfectly and the node leader funnels
+		// all cross-node traffic through its own memory system, costing
+		// ~12% extra on the NIC path — which is why the paper's auto-tuner
+		// settled on the flat ring in an uncongested cloud (§VIII-D).
+		intraRing := 2 * wireB * int64(g-1) / int64(g)
+		bcast := wireB
+		// The three phases of a naive hierarchical implementation do not
+		// chunk-pipeline with each other, so the intra traffic is charged
+		// serially (x3 phase turnarounds) plus two extra kernel launches.
+		serialSec := 3 * float64(intraRing+bcast) / top.Intra.BytesPerSecond(1)
+		bcastHops := int(math.Ceil(math.Log2(float64(g))))
+		latency = time.Duration(2*(g-1)+bcastHops)*w.hop(top.Intra) +
+			time.Duration(2*(nodes-1))*w.hop(top.Inter)
+		serial = time.Duration(serialSec*float64(time.Second)) + 2*w.cal.UnitOverhead
+		nicVolume = 2 * wireB * int64(nodes-1) / int64(nodes)
+		nicVolume = nicVolume * 120 / 100
+		return latency, nicVolume, serial
+	}
+	// Flat ring across all n workers: the NIC boundary edge carries
+	// 2·B·(n-1)/n; per-hop pipelined latency accumulates over 2(n-1) steps
+	// at the slowest link's hop cost.
+	link := top.Intra
+	if nodes > 1 {
+		link = top.Inter
+	}
+	latency = time.Duration(2*(n-1)) * w.hop(link)
+	nicVolume = 2 * wireB * int64(n-1) / int64(n)
+	return latency, nicVolume, 0
+}
+
+// hop returns the pipelined per-hop latency for ring steps over the link.
+// Ring steps overlap, so the effective per-hop cost is far below a full
+// message round trip.
+func (w *worker) hop(l netmodel.Link) time.Duration {
+	if l.Kind == netmodel.NVLink || l.Kind == netmodel.PCIe {
+		return w.cal.IntraHopLatency
+	}
+	return w.cal.RingHopLatency
+}
+
+// iteration is the per-iteration engine state machine.
+type iteration struct {
+	w *worker
+
+	bwdEnd time.Duration
+
+	producedBytes   int64 // locally produced, not yet agreed
+	producedTensors int   // produced tensors awaiting agreement (per round)
+	totalProduced   int   // produced tensors this iteration (never reset)
+	allProduced     bool
+	roundInFlight   bool
+
+	agreedBacklog int64 // agreed but not yet emitted as units
+	agreedAll     bool  // every gradient has been agreed
+	emittedBytes  int64
+	completeBytes int64
+
+	unitQueue     []int64
+	activeStreams int
+
+	lastCommDone time.Duration
+	stats        iterStats
+}
+
+// runIteration simulates one full training iteration and returns its end
+// time and stats. The simulator clock carries over between iterations.
+func (w *worker) runIteration() (time.Duration, iterStats, error) {
+	start := w.s.Now()
+	it := &iteration{w: w, bwdEnd: start + w.computeTime, lastCommDone: start + w.computeTime}
+
+	n := w.world()
+	if n == 1 {
+		// Single worker: no communication at all.
+		w.s.RunUntil(it.bwdEnd + w.updateTime)
+		return w.s.Now(), it.stats, nil
+	}
+
+	// Schedule gradient production events along the backward pass.
+	bwdStart := start + w.fwdTime
+	for _, ev := range w.schedule {
+		ev := ev
+		at := bwdStart + time.Duration(ev.Frac*float64(w.bwdTime))
+		_ = w.s.At(at, func() { it.produce(ev.Param) })
+	}
+	// The stream cap rises when backward drains.
+	_ = w.s.At(it.bwdEnd, func() { it.startUnits() })
+
+	w.s.Run()
+
+	// Invariant: every gradient byte must have been agreed, emitted and
+	// communicated — a violation is an engine-model bug, not a tunable.
+	if it.completeBytes != w.totalBytes || !it.agreedAll {
+		return 0, it.stats, fmt.Errorf(
+			"cluster: iteration incomplete: %d of %d bytes communicated (agreedAll=%v, queue=%d, active=%d)",
+			it.completeBytes, w.totalBytes, it.agreedAll, len(it.unitQueue), it.activeStreams)
+	}
+
+	end := it.bwdEnd
+	if it.lastCommDone > end {
+		end = it.lastCommDone
+	}
+	end += w.updateTime
+	it.stats.exposed = it.lastCommDone - it.bwdEnd
+	if it.stats.exposed < 0 {
+		it.stats.exposed = 0
+	}
+	w.s.RunUntil(end)
+	return end, it.stats, nil
+}
+
+// produce handles one gradient tensor becoming available locally.
+func (it *iteration) produce(param int) {
+	w := it.w
+	it.producedBytes += w.paramBytes[param]
+	it.producedTensors++
+	it.totalProduced++
+	if it.totalProduced == len(w.paramBytes) {
+		it.allProduced = true
+	}
+	switch w.cfg.Engine.Kind {
+	case PyTorchDDP, BytePS, MXNetPS:
+		// No runtime negotiation: buckets fire as they fill.
+		it.agreedBacklog += it.producedBytes
+		it.producedBytes = 0
+		if it.allProduced {
+			it.agreedAll = true
+		}
+		it.emitUnits(it.allProduced)
+	default:
+		it.maybeStartRound()
+	}
+}
+
+// maybeStartRound begins a readiness agreement round if warranted: the
+// unagreed bucket reached the minimum granularity, or backward has finished
+// and gradients remain unagreed.
+func (it *iteration) maybeStartRound() {
+	w := it.w
+	if it.roundInFlight || it.agreedAll {
+		return
+	}
+	if it.producedBytes == 0 {
+		return
+	}
+	trigger := it.producedBytes >= w.cfg.Engine.GranularityBytes || it.allProduced
+	if w.cfg.Engine.Kind == Horovod {
+		// Horovod negotiates on a fixed cycle regardless of volume.
+		trigger = true
+	}
+	if !trigger {
+		return
+	}
+	it.roundInFlight = true
+	it.stats.syncRounds++
+
+	roundBytes := it.producedBytes
+	roundTensors := it.producedTensors
+	roundAll := it.allProduced
+	it.producedBytes = 0
+	it.producedTensors = 0
+
+	now := w.s.Now()
+	var doneAt time.Duration
+	decentralized := w.cfg.Engine.Kind == AIACC && w.cfg.Decentralized
+	if decentralized {
+		// Pipelined min/AND ring over the bit vector: O(n) hop latency,
+		// constant per-node cost, no serial bottleneck beyond the sync
+		// stream itself.
+		lat := time.Duration(w.world()-1) * w.cal.SyncHopLatency
+		begin := now
+		if w.syncFree > begin {
+			begin = w.syncFree
+		}
+		doneAt = begin + lat
+		w.syncFree = doneAt
+	} else {
+		// Master negotiation: rank 0 serially receives and answers every
+		// worker, plus per-ready-tensor bookkeeping — the bottleneck the
+		// paper measures beyond ~128 GPUs.
+		cost := time.Duration(2*w.world())*w.cal.MasterPerMessage +
+			time.Duration(roundTensors)*time.Duration(w.world())*w.cal.MasterPerTensor
+		begin := now
+		if w.cfg.Engine.Kind == Horovod {
+			// Wait for the next negotiation cycle tick.
+			cycle := w.cal.NegotiationCycle
+			if cycle > 0 {
+				elapsed := begin % cycle
+				if elapsed != 0 {
+					begin += cycle - elapsed
+				}
+			}
+		}
+		if w.masterFree > begin {
+			begin = w.masterFree
+		}
+		doneAt = begin + cost
+		w.masterFree = doneAt
+	}
+	w.s.After(doneAt-now, func() {
+		it.roundInFlight = false
+		it.agreedBacklog += roundBytes
+		if roundAll {
+			it.agreedAll = true
+		}
+		eager := w.cfg.Engine.Kind == Horovod
+		it.emitUnits(eager || it.agreedAll)
+		// More gradients may have arrived during the round.
+		it.maybeStartRound()
+	})
+}
+
+// emitUnits converts agreed backlog into communication units. Packed
+// engines emit only full-granularity units until the final flush; eager
+// engines (Horovod's per-cycle fusion) emit everything available.
+func (it *iteration) emitUnits(flush bool) {
+	g := it.w.cfg.Engine.GranularityBytes
+	for it.agreedBacklog >= g {
+		it.enqueue(g)
+	}
+	if flush && it.agreedBacklog > 0 {
+		it.enqueue(it.agreedBacklog)
+	}
+	it.startUnits()
+}
+
+func (it *iteration) enqueue(bytes int64) {
+	it.agreedBacklog -= bytes
+	it.emittedBytes += bytes
+	it.unitQueue = append(it.unitQueue, bytes)
+	it.stats.units++
+}
+
+// startUnits admits queued units to streams up to the current concurrency
+// cap.
+func (it *iteration) startUnits() {
+	w := it.w
+	for len(it.unitQueue) > 0 && it.activeStreams < w.streamCap(w.s.Now(), it.bwdEnd) {
+		bytes := it.unitQueue[0]
+		it.unitQueue = it.unitQueue[1:]
+		it.activeStreams++
+		latency, nicVol, serial := w.unitTiming(bytes)
+		// Every unit pays a fixed dispatch cost (communication kernel
+		// launch, gather/scatter packing) on its stream.
+		serial += w.cal.UnitOverhead
+		// Transfers launched while compute still occupies the host run at a
+		// reduced effective rate (host staging contention); model as an
+		// inflated volume.
+		if w.s.Now() < it.bwdEnd && w.cfg.Topology.Nodes > 1 {
+			scale := w.cal.BusyBandwidthScale
+			if scale > 0 && scale < 1 {
+				nicVol = int64(float64(nicVol) / scale)
+			}
+		}
+		w.s.After(latency+serial, func() {
+			if nicVol <= 0 {
+				it.completeUnit(bytes)
+				return
+			}
+			w.nic.Start(nicVol, func() { it.completeUnit(bytes) })
+		})
+	}
+}
+
+func (it *iteration) completeUnit(bytes int64) {
+	it.activeStreams--
+	it.completeBytes += bytes
+	if it.w.s.Now() > it.lastCommDone {
+		it.lastCommDone = it.w.s.Now()
+	}
+	it.startUnits()
+}

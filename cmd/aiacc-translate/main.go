@@ -1,0 +1,61 @@
+// Command aiacc-translate is the source-to-source translator of §IV: it
+// converts training scripts to the Perseus API. Horovod programs get the
+// one-line import swap; sequential programs get distributed-training
+// boilerplate injected (init, learning-rate scaling, DistributedOptimizer
+// wrap, parameter broadcast, rank-0 checkpoint guard).
+//
+// Usage:
+//
+//	aiacc-translate -i train.py -o train_ddl.py
+//	cat train.py | aiacc-translate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aiacc/internal/translate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aiacc-translate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("i", "", "input script (default stdin)")
+	out := flag.String("o", "", "output script (default stdout)")
+	quiet := flag.Bool("q", false, "suppress the change report")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	if *in == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		return fmt.Errorf("read input: %w", err)
+	}
+
+	res := translate.Translate(string(src))
+
+	if *out == "" {
+		fmt.Print(res.Source)
+	} else if err := os.WriteFile(*out, []byte(res.Source), 0o644); err != nil {
+		return fmt.Errorf("write output: %w", err)
+	}
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "mode: %s\n", res.Mode)
+		for _, c := range res.Changes {
+			fmt.Fprintf(os.Stderr, "line %d [%s]: %s\n", c.Line, c.Kind, c.Detail)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package collective implements the collective communication primitives that
+// AIACC-Training builds gradient aggregation on: ring all-reduce
+// (reduce-scatter followed by all-gather, paper Fig. 1), a hierarchical
+// "tree" all-reduce (intra-node reduce, cross-node ring among node leaders,
+// intra-node broadcast), all-gather, broadcast, and the bit-wise AND
+// all-reduce used by the gradient synchronization vector.
+//
+// Every operation takes a stream id. Operations on distinct streams are fully
+// independent and may run concurrently from different goroutines — this is
+// the property the multi-streamed communication engine (package stream)
+// exploits. Concurrent operations on the *same* stream of the same
+// communicator are not allowed; the caller must serialize them, as the
+// dispatcher in package stream does.
+package collective
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"aiacc/compress"
+	"aiacc/mpi"
+	"aiacc/tensor"
+)
+
+// ErrShortBuffer indicates a received payload did not match the expected
+// size, i.e. ranks disagreed about the operation layout.
+var ErrShortBuffer = errors.New("collective: payload size mismatch")
+
+// chunkBounds returns the [lo, hi) element range of chunk i when data of
+// length total is partitioned into n nearly-equal chunks.
+func chunkBounds(total, n, i int) (int, int) {
+	base := total / n
+	rem := total % n
+	lo := i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sendAsync issues a send on a goroutine and returns a channel carrying its
+// error, letting the caller overlap the send with a blocking receive — the
+// standard deadlock-free formulation of a ring step.
+func sendAsync(c *mpi.Comm, to, stream int, data []byte) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- c.Send(to, stream, data) }()
+	return errc
+}
+
+// RingAllReduce performs an in-place ring all-reduce of data across all
+// members of c on the given stream, with fp32 wire encoding. See
+// RingAllReduceCodec.
+func RingAllReduce(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp) error {
+	return RingAllReduceCodec(c, stream, data, op, compress.FP32{})
+}
+
+// RingAllReduceCodec performs an in-place ring all-reduce of data across all
+// members of c on the given stream, serializing chunks with the given codec
+// (e.g. fp16 gradient compression). After it returns, every rank holds the
+// element-wise reduction (op) of all ranks' inputs; the reduction itself is
+// computed in fp32 after decoding.
+//
+// The algorithm is the bandwidth-optimal two-phase ring of Fig. 1: n-1
+// reduce-scatter steps in which each rank forwards and reduces one chunk,
+// followed by n-1 all-gather steps broadcasting the fully-reduced chunks.
+// Each rank sends 2(n-1)/n of the data in total.
+func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
+	n := c.Size()
+	if n == 1 || len(data) == 0 {
+		return nil
+	}
+	rank := c.Rank()
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+
+	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
+	// contributions into chunk (rank-s-1+n)%n.
+	tmp := make([]float32, 0)
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + n) % n
+		recvIdx := (rank - step - 1 + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+
+		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		payload, err := c.Recv(prev, stream)
+		if err != nil {
+			return fmt.Errorf("ring all-reduce recv step %d: %w", step, err)
+		}
+		if cap(tmp) < rHi-rLo {
+			tmp = make([]float32, rHi-rLo)
+		}
+		tmp = tmp[:rHi-rLo]
+		if err := codec.Decode(tmp, payload); err != nil {
+			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
+		}
+		if err := op.Apply(data[rLo:rHi], tmp); err != nil {
+			return fmt.Errorf("ring all-reduce reduce step %d: %w", step, err)
+		}
+		if err := <-errc; err != nil {
+			return fmt.Errorf("ring all-reduce send step %d: %w", step, err)
+		}
+	}
+
+	// All-gather: circulate the fully reduced chunks.
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + 1 + n) % n
+		recvIdx := (rank - step + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+
+		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		payload, err := c.Recv(prev, stream)
+		if err != nil {
+			return fmt.Errorf("ring all-gather recv step %d: %w", step, err)
+		}
+		if err := codec.Decode(data[rLo:rHi], payload); err != nil {
+			return fmt.Errorf("ring all-gather step %d: %w", step, err)
+		}
+		if err := <-errc; err != nil {
+			return fmt.Errorf("ring all-gather send step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+// Broadcast distributes root's data to every member of c in place, using a
+// binomial tree rooted at the given rank: O(log n) rounds.
+func Broadcast(c *mpi.Comm, stream, root int, data []float32) error {
+	return BroadcastCodec(c, stream, root, data, compress.FP32{})
+}
+
+// BroadcastCodec is Broadcast with an explicit wire codec.
+func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compress.Codec) error {
+	n := c.Size()
+	if n == 1 || len(data) == 0 {
+		return nil
+	}
+	// Rotate ranks so the root is virtual rank 0, then run the classic
+	// binomial tree: a rank receives from (vrank - mask) on the round where
+	// its lowest set bit is reached, then forwards to (vrank + smaller
+	// masks) in descending order.
+	vrank := (c.Rank() - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := vrank ^ mask
+			payload, err := c.Recv((parent+root)%n, stream)
+			if err != nil {
+				return fmt.Errorf("broadcast recv: %w", err)
+			}
+			if err := codec.Decode(data, payload); err != nil {
+				return fmt.Errorf("broadcast: %w", err)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		child := vrank + mask
+		if child < n {
+			if err := c.Send((child+root)%n, stream, codec.Encode(data)); err != nil {
+				return fmt.Errorf("broadcast send: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// AllGather collects each rank's input and returns the concatenation ordered
+// by rank. Inputs may have different lengths. Implemented as a ring pass:
+// n-1 steps, each forwarding the previously received block.
+func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
+	n := c.Size()
+	out := make([][]byte, n)
+	myCopy := make([]byte, len(mine))
+	copy(myCopy, mine)
+	out[c.Rank()] = myCopy
+	if n == 1 {
+		return out, nil
+	}
+	next := (c.Rank() + 1) % n
+	prev := (c.Rank() - 1 + n) % n
+	sendBlock := myCopy
+	for step := 0; step < n-1; step++ {
+		errc := sendAsync(c, next, stream, sendBlock)
+		payload, err := c.Recv(prev, stream)
+		if err != nil {
+			return nil, fmt.Errorf("all-gather recv step %d: %w", step, err)
+		}
+		if err := <-errc; err != nil {
+			return nil, fmt.Errorf("all-gather send step %d: %w", step, err)
+		}
+		origin := (c.Rank() - step - 1 + 2*n) % n
+		out[origin] = payload
+		sendBlock = payload
+	}
+	return out, nil
+}
+
+// AndAllReduceBits performs an in-place all-reduce with bit-wise AND over a
+// packed bit vector. This is the decentralized gradient-readiness agreement
+// of §V-A: each worker contributes a vector with bit g set iff gradient g is
+// locally ready; after the all-reduce, bit g survives iff *every* worker had
+// it set (AND of 0/1 bits is the paper's min operator).
+func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
+	n := c.Size()
+	if n == 1 || len(bits) == 0 {
+		return nil
+	}
+	rank := c.Rank()
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+
+	// The vector is small (one bit per gradient), so a simple ring pipeline
+	// on the whole vector beats chunking. Because AND is idempotent, n-1
+	// circulate-and-AND steps suffice: after step s each rank holds the AND
+	// of its own and its s+1 upstream neighbours' vectors.
+	buf := make([]byte, 8*len(bits))
+	encodeU64(buf, bits)
+	for step := 0; step < n-1; step++ {
+		errc := sendAsync(c, next, stream, append([]byte(nil), buf...))
+		payload, err := c.Recv(prev, stream)
+		if err != nil {
+			return fmt.Errorf("bit all-reduce recv step %d: %w", step, err)
+		}
+		if len(payload) != len(buf) {
+			return fmt.Errorf("%w: got %d bytes, want %d", ErrShortBuffer, len(payload), len(buf))
+		}
+		for i := range bits {
+			bits[i] &= binary.LittleEndian.Uint64(payload[8*i:])
+		}
+		encodeU64(buf, bits)
+		if err := <-errc; err != nil {
+			return fmt.Errorf("bit all-reduce send step %d: %w", step, err)
+		}
+	}
+	return nil
+}
+
+func encodeU64(dst []byte, src []uint64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[8*i:], v)
+	}
+}
+
+// HierarchicalAllReduce is the paper's "tree all-reduce" (§V-B): a ring
+// all-reduce among the GPUs of each computing node, a ring all-reduce among
+// node leaders across the network, then an intra-node broadcast of the
+// result. It reduces cross-node traffic to 1/gpusPerNode of a flat ring and
+// is selected by the auto-tuner when inter-node links are congested.
+func HierarchicalAllReduce(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp) error {
+	return HierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, compress.FP32{})
+}
+
+// HierarchicalAllReduceCodec is HierarchicalAllReduce with an explicit wire
+// codec applied to every phase.
+func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
+	if c.Size() == 1 || len(data) == 0 {
+		return nil
+	}
+	if gpusPerNode <= 0 {
+		return fmt.Errorf("%w: gpusPerNode %d", mpi.ErrBadGroup, gpusPerNode)
+	}
+	node, err := c.NodeGroup(gpusPerNode)
+	if err != nil {
+		return fmt.Errorf("hierarchical all-reduce node group: %w", err)
+	}
+	// Phase 1: intra-node reduction.
+	if err := RingAllReduceCodec(node, stream, data, op, codec); err != nil {
+		return fmt.Errorf("hierarchical all-reduce intra: %w", err)
+	}
+	// Phase 2: leaders reduce across nodes.
+	if node.Rank() == 0 {
+		leaders, err := c.LeaderGroup(gpusPerNode)
+		if err != nil {
+			return fmt.Errorf("hierarchical all-reduce leader group: %w", err)
+		}
+		if err := RingAllReduceCodec(leaders, stream, data, op, codec); err != nil {
+			return fmt.Errorf("hierarchical all-reduce inter: %w", err)
+		}
+	}
+	// Phase 3: broadcast the global result within each node.
+	if err := BroadcastCodec(node, stream, 0, data, codec); err != nil {
+		return fmt.Errorf("hierarchical all-reduce broadcast: %w", err)
+	}
+	return nil
+}

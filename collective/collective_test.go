@@ -1,0 +1,417 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+// runRanks executes fn once per rank on a fresh mem network and fails the
+// test on any returned error.
+func runRanks(t *testing.T, size, streams int, fn func(c *mpi.Comm) error) {
+	t.Helper()
+	net, err := transport.NewMem(size, streams)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatalf("Endpoint(%d): %v", r, err)
+		}
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			if err := fn(mpi.NewWorld(ep)); err != nil {
+				errc <- err
+			}
+		}(ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	tests := []struct {
+		total, n int
+		want     [][2]int
+	}{
+		{total: 10, n: 3, want: [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{total: 9, n: 3, want: [][2]int{{0, 3}, {3, 6}, {6, 9}}},
+		{total: 2, n: 4, want: [][2]int{{0, 1}, {1, 2}, {2, 2}, {2, 2}}},
+		{total: 0, n: 2, want: [][2]int{{0, 0}, {0, 0}}},
+	}
+	for _, tt := range tests {
+		for i, w := range tt.want {
+			lo, hi := chunkBounds(tt.total, tt.n, i)
+			if lo != w[0] || hi != w[1] {
+				t.Errorf("chunkBounds(%d,%d,%d) = [%d,%d), want [%d,%d)",
+					tt.total, tt.n, i, lo, hi, w[0], w[1])
+			}
+		}
+	}
+}
+
+// Property: chunks tile the range exactly, for any total and n.
+func TestQuickChunkBoundsTile(t *testing.T) {
+	f := func(total uint16, n uint8) bool {
+		nn := int(n%16) + 1
+		tot := int(total % 4096)
+		prev := 0
+		for i := 0; i < nn; i++ {
+			lo, hi := chunkBounds(tot, nn, i)
+			if lo != prev || hi < lo {
+				return false
+			}
+			prev = hi
+		}
+		return prev == tot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingAllReduceSum(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 8} {
+		for _, elems := range []int{1, 2, 7, 64, 1000} {
+			runRanks(t, size, 1, func(c *mpi.Comm) error {
+				data := make([]float32, elems)
+				for i := range data {
+					data[i] = float32(c.Rank()*elems + i)
+				}
+				if err := RingAllReduce(c, 0, data, tensor.OpSum); err != nil {
+					return err
+				}
+				for i := range data {
+					// sum over ranks r of (r*elems + i)
+					want := float32(elems*size*(size-1)/2 + i*size)
+					if math.Abs(float64(data[i]-want)) > 1e-3 {
+						t.Errorf("size=%d elems=%d rank=%d: data[%d] = %v, want %v",
+							size, elems, c.Rank(), i, data[i], want)
+						return nil
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestRingAllReduceMinMax(t *testing.T) {
+	runRanks(t, 4, 1, func(c *mpi.Comm) error {
+		data := []float32{float32(c.Rank()), float32(-c.Rank()), 5}
+		if err := RingAllReduce(c, 0, data, tensor.OpMin); err != nil {
+			return err
+		}
+		if data[0] != 0 || data[1] != -3 || data[2] != 5 {
+			t.Errorf("min result = %v", data)
+		}
+		return nil
+	})
+	runRanks(t, 4, 1, func(c *mpi.Comm) error {
+		data := []float32{float32(c.Rank()), float32(-c.Rank())}
+		if err := RingAllReduce(c, 0, data, tensor.OpMax); err != nil {
+			return err
+		}
+		if data[0] != 3 || data[1] != 0 {
+			t.Errorf("max result = %v", data)
+		}
+		return nil
+	})
+}
+
+func TestRingAllReduceShorterThanRanks(t *testing.T) {
+	// Fewer elements than ranks: some chunks are empty.
+	runRanks(t, 8, 1, func(c *mpi.Comm) error {
+		data := []float32{1, 2, 3}
+		if err := RingAllReduce(c, 0, data, tensor.OpSum); err != nil {
+			return err
+		}
+		if data[0] != 8 || data[1] != 16 || data[2] != 24 {
+			t.Errorf("rank %d: result = %v", c.Rank(), data)
+		}
+		return nil
+	})
+}
+
+func TestRingAllReduceEmptyAndSingle(t *testing.T) {
+	runRanks(t, 4, 1, func(c *mpi.Comm) error {
+		return RingAllReduce(c, 0, nil, tensor.OpSum)
+	})
+	runRanks(t, 1, 1, func(c *mpi.Comm) error {
+		data := []float32{7}
+		if err := RingAllReduce(c, 0, data, tensor.OpSum); err != nil {
+			return err
+		}
+		if data[0] != 7 {
+			t.Errorf("single-rank all-reduce changed data: %v", data)
+		}
+		return nil
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8} {
+		for root := 0; root < size; root++ {
+			runRanks(t, size, 1, func(c *mpi.Comm) error {
+				data := make([]float32, 5)
+				if c.Rank() == root {
+					for i := range data {
+						data[i] = float32(100*root + i)
+					}
+				}
+				if err := Broadcast(c, 0, root, data); err != nil {
+					return err
+				}
+				for i := range data {
+					want := float32(100*root + i)
+					if data[i] != want {
+						t.Errorf("size=%d root=%d rank=%d: data[%d] = %v, want %v",
+							size, root, c.Rank(), i, data[i], want)
+						return nil
+					}
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		runRanks(t, size, 1, func(c *mpi.Comm) error {
+			// Variable-length contributions.
+			mine := make([]byte, c.Rank()+1)
+			for i := range mine {
+				mine[i] = byte(c.Rank())
+			}
+			got, err := AllGather(c, 0, mine)
+			if err != nil {
+				return err
+			}
+			if len(got) != size {
+				t.Errorf("AllGather returned %d blocks, want %d", len(got), size)
+				return nil
+			}
+			for r, block := range got {
+				if len(block) != r+1 {
+					t.Errorf("rank %d: block %d has len %d, want %d", c.Rank(), r, len(block), r+1)
+					return nil
+				}
+				for _, b := range block {
+					if b != byte(r) {
+						t.Errorf("rank %d: block %d corrupted", c.Rank(), r)
+						return nil
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAndAllReduceBits(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 8} {
+		runRanks(t, size, 1, func(c *mpi.Comm) error {
+			// Bit g is set on rank r iff g%size != r. Therefore bit g
+			// survives the AND iff no rank cleared it — i.e. never, except
+			// bits >= size*width... Actually bit g is cleared by exactly
+			// rank g%size, so no bit survives except when size==1.
+			bits := []uint64{^uint64(0), ^uint64(0)}
+			for g := 0; g < 128; g++ {
+				if g%size == c.Rank() && size > 1 {
+					bits[g/64] &^= 1 << (g % 64)
+				}
+			}
+			if err := AndAllReduceBits(c, 0, bits); err != nil {
+				return err
+			}
+			for g := 0; g < 128; g++ {
+				got := bits[g/64]&(1<<(g%64)) != 0
+				want := size == 1
+				if got != want {
+					t.Errorf("size=%d rank=%d: bit %d = %v, want %v", size, c.Rank(), g, got, want)
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAndAllReduceBitsAgreement(t *testing.T) {
+	// All ranks set a common subset plus a private bit; only the common
+	// subset must survive, and all ranks must agree.
+	const size = 5
+	runRanks(t, size, 1, func(c *mpi.Comm) error {
+		bits := []uint64{0}
+		bits[0] |= 0b1010 // common
+		bits[0] |= 1 << (10 + c.Rank())
+		if err := AndAllReduceBits(c, 0, bits); err != nil {
+			return err
+		}
+		if bits[0] != 0b1010 {
+			t.Errorf("rank %d: bits = %b, want 1010", c.Rank(), bits[0])
+		}
+		return nil
+	})
+}
+
+func TestHierarchicalAllReduce(t *testing.T) {
+	for _, tc := range []struct{ size, perNode int }{
+		{size: 8, perNode: 4},
+		{size: 8, perNode: 2},
+		{size: 6, perNode: 4}, // ragged last node
+		{size: 4, perNode: 4}, // single node
+		{size: 1, perNode: 8},
+	} {
+		runRanks(t, tc.size, 1, func(c *mpi.Comm) error {
+			data := make([]float32, 33)
+			for i := range data {
+				data[i] = float32(c.Rank() + i)
+			}
+			if err := HierarchicalAllReduce(c, 0, tc.perNode, data, tensor.OpSum); err != nil {
+				return err
+			}
+			for i := range data {
+				want := float32(tc.size*(tc.size-1)/2 + i*tc.size)
+				if math.Abs(float64(data[i]-want)) > 1e-3 {
+					t.Errorf("size=%d perNode=%d rank=%d: data[%d] = %v, want %v",
+						tc.size, tc.perNode, c.Rank(), i, data[i], want)
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestHierarchicalAllReduceBadPerNode(t *testing.T) {
+	runRanks(t, 2, 1, func(c *mpi.Comm) error {
+		err := HierarchicalAllReduce(c, 0, 0, []float32{1}, tensor.OpSum)
+		if err == nil {
+			t.Error("gpusPerNode=0 must be rejected")
+		}
+		return nil
+	})
+}
+
+// Concurrent all-reduce operations on distinct streams must not interfere —
+// the property the multi-stream engine depends on.
+func TestConcurrentStreamsAllReduce(t *testing.T) {
+	const size, streams = 4, 6
+	runRanks(t, size, streams, func(c *mpi.Comm) error {
+		var wg sync.WaitGroup
+		errs := make([]error, streams)
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				data := make([]float32, 100+s)
+				for i := range data {
+					data[i] = float32(c.Rank() * (s + 1))
+				}
+				if err := RingAllReduce(c, s, data, tensor.OpSum); err != nil {
+					errs[s] = err
+					return
+				}
+				want := float32(size * (size - 1) / 2 * (s + 1))
+				for i := range data {
+					if data[i] != want {
+						t.Errorf("stream %d rank %d: data[%d] = %v, want %v", s, c.Rank(), i, data[i], want)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// The collectives must work identically over real TCP.
+func TestRingAllReduceOverTCP(t *testing.T) {
+	const size = 3
+	net, err := transport.NewTCP(size, 2)
+	if err != nil {
+		t.Fatalf("NewTCP: %v", err)
+	}
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatalf("Endpoint: %v", err)
+		}
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			c := mpi.NewWorld(ep)
+			data := make([]float32, 257)
+			for i := range data {
+				data[i] = float32(c.Rank())
+			}
+			if err := RingAllReduce(c, 1, data, tensor.OpSum); err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			for i := range data {
+				if data[i] != 3 { // 0+1+2
+					t.Errorf("rank %d: data[%d] = %v, want 3", c.Rank(), i, data[i])
+					return
+				}
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+// Property: ring all-reduce sum equals the serial sum for random inputs.
+func TestQuickRingAllReduceMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		size := 2 + rng.Intn(5)
+		elems := 1 + rng.Intn(200)
+		inputs := make([][]float32, size)
+		want := make([]float64, elems)
+		for r := range inputs {
+			inputs[r] = make([]float32, elems)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()*2 - 1
+				want[i] += float64(inputs[r][i])
+			}
+		}
+		runRanks(t, size, 1, func(c *mpi.Comm) error {
+			data := append([]float32(nil), inputs[c.Rank()]...)
+			if err := RingAllReduce(c, 0, data, tensor.OpSum); err != nil {
+				return err
+			}
+			for i := range data {
+				if math.Abs(float64(data[i])-want[i]) > 1e-4*float64(size) {
+					t.Errorf("trial %d rank %d elem %d: got %v, want %v",
+						trial, c.Rank(), i, data[i], want[i])
+					return nil
+				}
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package collective
+
+import (
+	"fmt"
+
+	"aiacc/compress"
+	"aiacc/mpi"
+	"aiacc/tensor"
+)
+
+// This file completes the collective primitive set the paper builds on
+// (§V-B: "AIACC-Training utilizes and extends the collective communication
+// primitives (like all-reduce, broadcast, and scatter) of NCCL and Gloo"):
+// reduce-scatter, scatter and gather, alongside the all-reduce/broadcast/
+// all-gather in collective.go.
+
+// ReduceScatter reduces data element-wise across all ranks and leaves each
+// rank holding only its chunk of the result (chunk boundaries follow the
+// same near-equal partitioning as RingAllReduce). It returns the caller's
+// reduced chunk as a view into data; other chunk contents of data are left
+// partially reduced and must not be used.
+//
+// This is the first phase of the ring all-reduce (Fig. 1a) exposed on its
+// own: n-1 pipelined steps, each rank forwarding and reducing one chunk.
+func ReduceScatter(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp) ([]float32, error) {
+	return ReduceScatterCodec(c, stream, data, op, compress.FP32{})
+}
+
+// ReduceScatterCodec is ReduceScatter with an explicit wire codec.
+func ReduceScatterCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) ([]float32, error) {
+	n := c.Size()
+	rank := c.Rank()
+	myLo, myHi := chunkBounds(len(data), n, rank)
+	if n == 1 || len(data) == 0 {
+		return data[myLo:myHi], nil
+	}
+	next := (rank + 1) % n
+	prev := (rank - 1 + n) % n
+	tmp := make([]float32, 0)
+	// Offset the chunk rotation by one relative to RingAllReduce so that
+	// after n-1 steps each rank holds the full reduction of its *own*
+	// chunk (the conventional reduce-scatter contract).
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step - 1 + 2*n) % n
+		recvIdx := (rank - step - 2 + 3*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+
+		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		payload, err := c.Recv(prev, stream)
+		if err != nil {
+			return nil, fmt.Errorf("reduce-scatter recv step %d: %w", step, err)
+		}
+		if cap(tmp) < rHi-rLo {
+			tmp = make([]float32, rHi-rLo)
+		}
+		tmp = tmp[:rHi-rLo]
+		if err := codec.Decode(tmp, payload); err != nil {
+			return nil, fmt.Errorf("reduce-scatter step %d: %w", step, err)
+		}
+		if err := op.Apply(data[rLo:rHi], tmp); err != nil {
+			return nil, fmt.Errorf("reduce-scatter reduce step %d: %w", step, err)
+		}
+		if err := <-errc; err != nil {
+			return nil, fmt.Errorf("reduce-scatter send step %d: %w", step, err)
+		}
+	}
+	return data[myLo:myHi], nil
+}
+
+// Scatter distributes root's chunks: rank i receives chunks[i]. Non-root
+// callers pass chunks as nil and receive their chunk; the root receives a
+// copy of its own chunk. Chunk lengths may differ per rank but every rank's
+// expectation is defined by the root's slice lengths.
+func Scatter(c *mpi.Comm, stream, root int, chunks [][]float32) ([]float32, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%w: root %d of %d", mpi.ErrBadGroup, root, n)
+	}
+	if c.Rank() == root {
+		if len(chunks) != n {
+			return nil, fmt.Errorf("%w: root has %d chunks for %d ranks", ErrShortBuffer, len(chunks), n)
+		}
+		codec := compress.FP32{}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, stream, codec.Encode(chunks[r])); err != nil {
+				return nil, fmt.Errorf("scatter send to %d: %w", r, err)
+			}
+		}
+		mine := make([]float32, len(chunks[root]))
+		copy(mine, chunks[root])
+		return mine, nil
+	}
+	payload, err := c.Recv(root, stream)
+	if err != nil {
+		return nil, fmt.Errorf("scatter recv: %w", err)
+	}
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("%w: %d-byte scatter payload", ErrShortBuffer, len(payload))
+	}
+	mine := make([]float32, len(payload)/4)
+	if err := (compress.FP32{}).Decode(mine, payload); err != nil {
+		return nil, err
+	}
+	return mine, nil
+}
+
+// Gather collects every rank's contribution at the root: the root returns a
+// slice indexed by rank; other ranks return nil. Contributions may have
+// different lengths.
+func Gather(c *mpi.Comm, stream, root int, mine []float32) ([][]float32, error) {
+	n := c.Size()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%w: root %d of %d", mpi.ErrBadGroup, root, n)
+	}
+	codec := compress.FP32{}
+	if c.Rank() != root {
+		if err := c.Send(root, stream, codec.Encode(mine)); err != nil {
+			return nil, fmt.Errorf("gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]float32, n)
+	own := make([]float32, len(mine))
+	copy(own, mine)
+	out[root] = own
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		payload, err := c.Recv(r, stream)
+		if err != nil {
+			return nil, fmt.Errorf("gather recv from %d: %w", r, err)
+		}
+		if len(payload)%4 != 0 {
+			return nil, fmt.Errorf("%w: %d-byte gather payload from %d", ErrShortBuffer, len(payload), r)
+		}
+		vals := make([]float32, len(payload)/4)
+		if err := codec.Decode(vals, payload); err != nil {
+			return nil, err
+		}
+		out[r] = vals
+	}
+	return out, nil
+}
+
+// ChunkBounds exposes the partitioning used by the chunked collectives so
+// callers of ReduceScatter/Scatter can size per-rank chunks consistently:
+// it returns the [lo, hi) element range of rank's chunk when total elements
+// are split across size ranks.
+func ChunkBounds(total, size, rank int) (int, int) {
+	return chunkBounds(total, size, rank)
+}

@@ -1,0 +1,104 @@
+// Package compress provides gradient compression codecs. AIACC-Training uses
+// a half-precision (fp16) wire representation of gradients to halve network
+// traffic (§X); the reduction itself still happens in fp32 after decoding.
+// A pass-through fp32 codec serves as the uncompressed baseline and makes
+// compression an interface swap in the engine.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"aiacc/tensor"
+)
+
+// ErrCorrupt indicates a payload whose size does not match the element count.
+var ErrCorrupt = errors.New("compress: corrupt payload")
+
+// Codec converts between fp32 gradient slices and wire bytes.
+type Codec interface {
+	// Name identifies the codec.
+	Name() string
+	// Encode serializes src into a fresh buffer.
+	Encode(src []float32) []byte
+	// Decode parses buf into dst; len(dst) elements must be encoded in buf.
+	Decode(dst []float32, buf []byte) error
+	// WireBytes returns the encoded size of n elements.
+	WireBytes(n int) int64
+}
+
+// FP32 is the identity codec: little-endian float32 on the wire.
+type FP32 struct{}
+
+var _ Codec = FP32{}
+
+// Name implements Codec.
+func (FP32) Name() string { return "fp32" }
+
+// Encode implements Codec.
+func (FP32) Encode(src []float32) []byte {
+	buf := make([]byte, 4*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (FP32) Decode(dst []float32, buf []byte) error {
+	if len(buf) != 4*len(dst) {
+		return fmt.Errorf("%w: %d bytes for %d elements", ErrCorrupt, len(buf), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}
+
+// WireBytes implements Codec.
+func (FP32) WireBytes(n int) int64 { return int64(n) * 4 }
+
+// FP16 encodes gradients as IEEE binary16, halving wire traffic at the cost
+// of ~3 decimal digits of precision — acceptable for gradients, which are
+// noisy by construction.
+type FP16 struct{}
+
+var _ Codec = FP16{}
+
+// Name implements Codec.
+func (FP16) Name() string { return "fp16" }
+
+// Encode implements Codec.
+func (FP16) Encode(src []float32) []byte {
+	buf := make([]byte, 2*len(src))
+	tensor.EncodeHalf(buf, src)
+	return buf
+}
+
+// Decode implements Codec.
+func (FP16) Decode(dst []float32, buf []byte) error {
+	if len(buf) != 2*len(dst) {
+		return fmt.Errorf("%w: %d bytes for %d elements", ErrCorrupt, len(buf), len(dst))
+	}
+	tensor.DecodeHalf(dst, buf)
+	return nil
+}
+
+// WireBytes implements Codec.
+func (FP16) WireBytes(n int) int64 { return int64(n) * 2 }
+
+// ByName returns the codec registered under name.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "fp32", "":
+		return FP32{}, nil
+	case "fp16":
+		return FP16{}, nil
+	case "topk":
+		return TopK{Ratio: 0.01}, nil
+	default:
+		return nil, fmt.Errorf("compress: unknown codec %q", name)
+	}
+}

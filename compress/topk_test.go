@@ -1,0 +1,176 @@
+package compress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTopKName(t *testing.T) {
+	if (TopK{Ratio: 0.01}).Name() != "top0.01" {
+		t.Errorf("Name = %q", TopK{Ratio: 0.01}.Name())
+	}
+	// Invalid ratios fall back to 1%.
+	if (TopK{}).Name() != "top0.01" || (TopK{Ratio: 2}).Name() != "top0.01" {
+		t.Error("ratio fallback wrong")
+	}
+}
+
+func TestTopKKeepsLargestMagnitudes(t *testing.T) {
+	src := []float32{0.1, -5, 0.2, 3, -0.05, 0.4, -2, 0}
+	c := TopK{Ratio: 0.375} // keep 3 of 8
+	dst := make([]float32, len(src))
+	if err := c.Decode(dst, c.Encode(src)); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, -5, 0, 3, 0, 0, -2, 0}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestTopKKeepAtLeastOne(t *testing.T) {
+	c := TopK{Ratio: 0.001}
+	src := []float32{0.5, 0.1}
+	dst := make([]float32, 2)
+	if err := c.Decode(dst, c.Encode(src)); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0.5 || dst[1] != 0 {
+		t.Errorf("dst = %v", dst)
+	}
+}
+
+func TestTopKFullRatioIsLossless(t *testing.T) {
+	c := TopK{Ratio: 1}
+	src := []float32{1, -2, 3, 0, 5}
+	dst := make([]float32, len(src))
+	if err := c.Decode(dst, c.Encode(src)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestTopKWireBytes(t *testing.T) {
+	c := TopK{Ratio: 0.01}
+	if got := c.WireBytes(10000); got != 8+8*100 {
+		t.Errorf("WireBytes(10000) = %d", got)
+	}
+	if c.WireBytes(0) != 0 {
+		t.Error("empty wire bytes wrong")
+	}
+	// Compression ratio on large tensors ~50x vs fp32.
+	dense := int64(4 * 1_000_000)
+	sparse := c.WireBytes(1_000_000)
+	if ratio := float64(dense) / float64(sparse); ratio < 40 {
+		t.Errorf("compression ratio = %.1fx, want ~50x", ratio)
+	}
+}
+
+func TestTopKEncodedSizeMatchesWireBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := TopK{Ratio: 0.1}
+	for _, n := range []int{1, 7, 100, 4096} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = rng.Float32() - 0.5
+		}
+		if got := int64(len(c.Encode(src))); got != c.WireBytes(n) {
+			t.Errorf("n=%d: encoded %d bytes, WireBytes says %d", n, got, c.WireBytes(n))
+		}
+	}
+}
+
+func TestTopKDecodeErrors(t *testing.T) {
+	c := TopK{Ratio: 0.5}
+	buf := c.Encode([]float32{1, 2, 3, 4})
+	if err := c.Decode(make([]float32, 5), buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("length mismatch error = %v", err)
+	}
+	if err := c.Decode(make([]float32, 4), buf[:len(buf)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated payload error = %v", err)
+	}
+	if err := c.Decode(make([]float32, 4), []byte{1}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tiny payload error = %v", err)
+	}
+	if err := c.Decode(nil, nil); err != nil {
+		t.Errorf("empty decode error = %v", err)
+	}
+}
+
+func TestTopKResidual(t *testing.T) {
+	c := TopK{Ratio: 0.25} // keep 1 of 4
+	src := []float32{10, 1, -2, 0.5}
+	res, err := c.Residual(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 1, -2, 0.5} // 10 was transmitted
+	for i := range want {
+		if res[i] != want[i] {
+			t.Errorf("residual[%d] = %v, want %v", i, res[i], want[i])
+		}
+	}
+	// kept + residual == original.
+	kept := make([]float32, len(src))
+	if err := c.Decode(kept, c.Encode(src)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if kept[i]+res[i] != src[i] {
+			t.Errorf("kept+residual != src at %d", i)
+		}
+	}
+}
+
+// Property: the kept set is exactly the k largest magnitudes for random
+// inputs with distinct magnitudes.
+func TestTopKSelectionCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		ratio := 0.05 + rng.Float64()*0.9
+		c := TopK{Ratio: ratio}
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = (rng.Float32() - 0.5) * float32(math.Pow(10, float64(rng.Intn(4))))
+		}
+		dst := make([]float32, n)
+		if err := c.Decode(dst, c.Encode(src)); err != nil {
+			t.Fatal(err)
+		}
+		// Compute the expected threshold.
+		mags := make([]float64, n)
+		for i, v := range src {
+			mags[i] = math.Abs(float64(v))
+		}
+		sorted := append([]float64(nil), mags...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		k := c.keep(n)
+		kept := 0
+		for i := range dst {
+			if dst[i] != 0 || (src[i] == 0 && dst[i] == 0 && mags[i] >= sorted[k-1] && kept < k) {
+				if dst[i] != 0 && dst[i] != src[i] {
+					t.Fatalf("trial %d: transmitted value changed at %d", trial, i)
+				}
+			}
+			if dst[i] != 0 {
+				kept++
+				if mags[i] < sorted[k-1]-1e-12 {
+					t.Fatalf("trial %d: kept element %d below threshold", trial, i)
+				}
+			}
+		}
+		if kept > k {
+			t.Fatalf("trial %d: kept %d > k=%d", trial, kept, k)
+		}
+	}
+}

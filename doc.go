@@ -1,0 +1,23 @@
+// Package aiacc is a from-scratch Go reproduction of AIACC-Training
+// (ICDCS 2022): Alibaba's unified gradient-communication library for
+// distributed deep learning, built around multi-streamed concurrent
+// all-reduce and fully decentralized gradient synchronization.
+//
+// The repository has two halves that share the same algorithms:
+//
+//   - A live communication library: real collectives (ring and hierarchical
+//     all-reduce, broadcast, all-gather, bit-vector agreement) moving real
+//     float32 gradients over goroutine channels or TCP sockets, driven by
+//     the engine in package engine and surfaced through the
+//     Horovod-compatible API in package perseus.
+//
+//   - A discrete-event cluster simulator (package cluster over
+//     internal/sim) that models V100 nodes, NVLink, 30 Gbps VPC TCP and
+//     RDMA links with the paper's measured single-stream efficiency
+//     ceilings, and regenerates every table and figure of the paper's
+//     evaluation (internal/bench, cmd/aiacc-bench).
+//
+// Start with README.md, the examples/ directory, and DESIGN.md for the
+// system inventory and experiment index. The benchmarks in bench_test.go
+// regenerate one paper artifact each.
+package aiacc

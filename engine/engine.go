@@ -1,0 +1,590 @@
+// Package core implements the AIACC-Training gradient communication engine
+// (§V, Fig. 6): the live, byte-moving counterpart of the paper's per-GPU MPI
+// communication process.
+//
+// Per training iteration the engine:
+//
+//  1. receives locally computed gradients through a push queue (the paper's
+//     CUDA-MPI-aware gradient message queue) in arbitrary production order,
+//  2. marks them in the gradient synchronization vector and — once the
+//     accumulated bucket reaches the minimum communication granularity —
+//     runs a collective agreement round (decentralized min/AND all-reduce,
+//     or the Horovod-style master baseline),
+//  3. packs the globally agreed gradients into all-reduce units of the tuned
+//     granularity (splitting large tensors, merging small ones),
+//  4. dispatches each unit to the multi-stream pool, where concurrent
+//     workers run ring (or hierarchical) all-reduce over independent
+//     communication streams, optionally fp16-compressed,
+//  5. unpacks reduced units back into the gradient tensors, averages them,
+//     and fires the per-gradient completion callback for the optimizer.
+//
+// All of this happens concurrently with the caller's ongoing backward pass,
+// which is what lets communication hide behind computation (Fig. 5).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"aiacc/collective"
+	"aiacc/compress"
+	"aiacc/internal/gradsync"
+	"aiacc/internal/packing"
+	"aiacc/internal/stream"
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/trace"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned by operations on a closed engine.
+	ErrClosed = errors.New("engine: engine closed")
+	// ErrNotStarted indicates a call that requires Start first.
+	ErrNotStarted = errors.New("engine: engine not started")
+	// ErrStarted indicates registration after Start.
+	ErrStarted = errors.New("engine: engine already started")
+	// ErrBadConfig indicates an invalid engine configuration.
+	ErrBadConfig = errors.New("engine: bad configuration")
+)
+
+// NaNError reports a non-finite value detected in a pushed gradient — the
+// debugging aid AIACC-Training offers for diverging training runs (§IV).
+type NaNError struct {
+	// Name is the gradient's parameter name.
+	Name string
+	// Index is the flat element index of the first non-finite value.
+	Index int
+}
+
+// Error implements error.
+func (e *NaNError) Error() string {
+	return fmt.Sprintf("engine: gradient %q has a non-finite value at element %d", e.Name, e.Index)
+}
+
+// Algorithm selects the all-reduce algorithm.
+type Algorithm int
+
+// Supported all-reduce algorithms (§V-B).
+const (
+	// Ring is the flat bandwidth-optimal ring across all workers.
+	Ring Algorithm = iota + 1
+	// Hierarchical reduces within each node, rings across node leaders,
+	// then broadcasts within nodes — the paper's "tree" all-reduce.
+	Hierarchical
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case Hierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// CoordinatorKind selects the gradient-readiness agreement protocol.
+type CoordinatorKind int
+
+// Supported coordinators.
+const (
+	// Decentralized is AIACC's min/AND ring all-reduce agreement.
+	Decentralized CoordinatorKind = iota + 1
+	// Master is the Horovod-style rank-0 coordinator baseline.
+	Master
+)
+
+// String implements fmt.Stringer.
+func (k CoordinatorKind) String() string {
+	switch k {
+	case Decentralized:
+		return "decentralized"
+	case Master:
+		return "master"
+	default:
+		return fmt.Sprintf("CoordinatorKind(%d)", int(k))
+	}
+}
+
+// Config tunes the engine. The zero value is invalid; start from
+// DefaultConfig. Streams and GranularityBytes are the two hyper-parameters
+// the auto-tuner (package autotune) searches over.
+type Config struct {
+	// Streams is the number of concurrent communication streams.
+	Streams int
+	// GranularityBytes is the all-reduce unit size.
+	GranularityBytes int64
+	// MinSyncBytes is the bucket size that triggers a synchronization
+	// round; 0 means GranularityBytes.
+	MinSyncBytes int64
+	// Algorithm selects ring or hierarchical all-reduce.
+	Algorithm Algorithm
+	// GPUsPerNode configures the hierarchical algorithm's node grouping.
+	GPUsPerNode int
+	// Coordinator selects the readiness agreement protocol.
+	Coordinator CoordinatorKind
+	// Codec is the wire codec (fp32 or fp16 compression).
+	Codec compress.Codec
+	// Average divides reduced gradients by the world size, yielding the
+	// data-parallel mean gradient.
+	Average bool
+	// DetectNaN scans every pushed gradient for non-finite values.
+	DetectNaN bool
+	// OnGradient, if set, is invoked (from a pool worker) each time a
+	// gradient has been fully reduced and scattered back.
+	OnGradient func(name string)
+	// Trace, if set, records the engine timeline (pushes, sync rounds,
+	// per-stream all-reduce spans) for chrome://tracing export.
+	Trace *trace.Recorder
+}
+
+// DefaultConfig returns the engine defaults used before auto-tuning: 4
+// streams, 4 MiB units, flat ring, decentralized sync, fp32 wire, averaging.
+func DefaultConfig() Config {
+	return Config{
+		Streams:          4,
+		GranularityBytes: 4 << 20,
+		Algorithm:        Ring,
+		GPUsPerNode:      8,
+		Coordinator:      Decentralized,
+		Codec:            compress.FP32{},
+		Average:          true,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Streams <= 0:
+		return fmt.Errorf("%w: streams %d", ErrBadConfig, c.Streams)
+	case c.GranularityBytes < 4:
+		return fmt.Errorf("%w: granularity %d bytes", ErrBadConfig, c.GranularityBytes)
+	case c.Algorithm != Ring && c.Algorithm != Hierarchical:
+		return fmt.Errorf("%w: algorithm %d", ErrBadConfig, int(c.Algorithm))
+	case c.Algorithm == Hierarchical && c.GPUsPerNode <= 0:
+		return fmt.Errorf("%w: gpusPerNode %d", ErrBadConfig, c.GPUsPerNode)
+	case c.Coordinator != Decentralized && c.Coordinator != Master:
+		return fmt.Errorf("%w: coordinator %d", ErrBadConfig, int(c.Coordinator))
+	case c.Codec == nil:
+		return fmt.Errorf("%w: nil codec", ErrBadConfig)
+	case c.MinSyncBytes < 0:
+		return fmt.Errorf("%w: minSyncBytes %d", ErrBadConfig, c.MinSyncBytes)
+	}
+	return nil
+}
+
+// RequiredStreams returns the number of transport streams an engine with
+// this config needs: the data streams plus one dedicated synchronization
+// stream.
+func (c Config) RequiredStreams() int { return c.Streams + 1 }
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	// Iterations completed.
+	Iterations int64
+	// SyncRounds is the number of collective agreement rounds run.
+	SyncRounds int64
+	// Units is the number of all-reduce units dispatched.
+	Units int64
+	// BytesReduced is the total payload reduced (pre-codec fp32 bytes).
+	BytesReduced int64
+}
+
+type push struct {
+	id   int
+	data []float32
+}
+
+// Engine is one worker's gradient communication engine. Registration and
+// Start happen single-threaded; afterwards PushGradient may be called from
+// any goroutine while WaitIteration is called by the training loop.
+type Engine struct {
+	comm *mpi.Comm
+	cfg  Config
+
+	registry *gradsync.Registry
+	grads    []gradsync.Gradient // by id, after Start
+
+	pool    *stream.Pool
+	packer  *packing.Packer
+	session *gradsync.Session
+	local   *gradsync.SyncVector
+
+	pushCh   chan push
+	stop     chan struct{}
+	stopOnce sync.Once
+	loopDone chan struct{}
+	iterDone chan error
+
+	mu        sync.Mutex
+	data      map[int][]float32 // id -> gradient storage for this iteration
+	remaining map[int]int       // id -> fragments still in flight
+	stats     Stats
+
+	started bool
+	failed  error
+}
+
+// NewEngine creates an engine over the communicator. The communicator's
+// transport must provide at least cfg.RequiredStreams() streams.
+func NewEngine(comm *mpi.Comm, cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if comm.Streams() < cfg.RequiredStreams() {
+		return nil, fmt.Errorf("%w: transport has %d streams, config needs %d",
+			ErrBadConfig, comm.Streams(), cfg.RequiredStreams())
+	}
+	if cfg.MinSyncBytes == 0 {
+		cfg.MinSyncBytes = cfg.GranularityBytes
+	}
+	return &Engine{
+		comm:     comm,
+		cfg:      cfg,
+		registry: gradsync.NewRegistry(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		iterDone: make(chan error, 1),
+	}, nil
+}
+
+// Comm returns the engine's communicator.
+func (e *Engine) Comm() *mpi.Comm { return e.comm }
+
+// Rank returns the worker's rank.
+func (e *Engine) Rank() int { return e.comm.Rank() }
+
+// Size returns the world size.
+func (e *Engine) Size() int { return e.comm.Size() }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Register declares a parameter's gradient before Start, mirroring the
+// gradient registration of Fig. 8a. All workers must register the same set.
+func (e *Engine) Register(name string, elems int) error {
+	if e.started {
+		return ErrStarted
+	}
+	return e.registry.Register(name, elems)
+}
+
+// Start finalizes registration, allocates the synchronization vector and
+// stream pool, and launches the engine loop.
+func (e *Engine) Start() error {
+	if e.started {
+		return ErrStarted
+	}
+	grads, err := e.registry.Finalize()
+	if err != nil {
+		return fmt.Errorf("finalize registry: %w", err)
+	}
+	if len(grads) == 0 {
+		return fmt.Errorf("%w: no gradients registered", ErrBadConfig)
+	}
+	e.grads = grads
+	pool, err := stream.NewPool(e.cfg.Streams)
+	if err != nil {
+		return err
+	}
+	e.pool = pool
+	packer, err := packing.NewPacker(e.cfg.GranularityBytes)
+	if err != nil {
+		_ = pool.Close()
+		return err
+	}
+	e.packer = packer
+	e.local = gradsync.NewSyncVector(len(grads))
+	e.session = gradsync.NewSession(e.coordinator(), len(grads))
+	e.pushCh = make(chan push, len(grads))
+	e.data = make(map[int][]float32, len(grads))
+	e.remaining = make(map[int]int, len(grads))
+	e.started = true
+	go e.loop()
+	return nil
+}
+
+// syncStream is the dedicated transport stream for agreement rounds.
+func (e *Engine) syncStream() int { return e.cfg.Streams }
+
+// pushLane is the trace lane for gradient-push instants.
+func (e *Engine) pushLane() int { return e.cfg.Streams + 1 }
+
+func (e *Engine) coordinator() gradsync.Coordinator {
+	if e.cfg.Coordinator == Master {
+		return gradsync.NewMaster(e.comm, e.syncStream())
+	}
+	return gradsync.NewDecentralized(e.comm, e.syncStream())
+}
+
+// PushGradient hands a locally computed gradient to the engine. The tensor's
+// storage is shared with the engine until WaitIteration returns: the engine
+// reduces into it in place, so afterwards it holds the globally aggregated
+// (and averaged) gradient. Safe for concurrent use.
+func (e *Engine) PushGradient(name string, grad *tensor.Tensor) error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	g, err := e.registry.ByName(name)
+	if err != nil {
+		return err
+	}
+	if grad.Len() != g.Elems {
+		return fmt.Errorf("engine: gradient %q has %d elements, registered %d: %w",
+			name, grad.Len(), g.Elems, tensor.ErrShapeMismatch)
+	}
+	if e.cfg.DetectNaN {
+		if bad, idx := grad.HasNaN(); bad {
+			return &NaNError{Name: name, Index: idx}
+		}
+	}
+	// Fail deterministically once closed (the buffered push channel might
+	// otherwise still accept).
+	select {
+	case <-e.stop:
+		return ErrClosed
+	default:
+	}
+	select {
+	case e.pushCh <- push{id: g.ID, data: grad.Data()}:
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Instant("push "+name, "gradient", e.pushLane(), nil)
+		}
+		return nil
+	case <-e.stop:
+		return ErrClosed
+	}
+}
+
+// WaitIteration blocks until every registered gradient has been pushed by
+// all workers, reduced, averaged and scattered back, then prepares the
+// engine for the next iteration.
+func (e *Engine) WaitIteration() error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	select {
+	case err := <-e.iterDone:
+		if err != nil {
+			e.failed = err
+		}
+		return err
+	case <-e.stop:
+		if e.failed != nil {
+			return e.failed
+		}
+		return ErrClosed
+	}
+}
+
+// Broadcast distributes root's tensor to all workers over the sync stream.
+// It must not run concurrently with an active iteration; it is intended for
+// initial parameter synchronization and elastic scale-out.
+func (e *Engine) Broadcast(t *tensor.Tensor, root int) error {
+	if !e.started {
+		return ErrNotStarted
+	}
+	return collective.BroadcastCodec(e.comm, e.syncStream(), root, t.Data(), compress.FP32{})
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Close shuts the engine down: the loop stops, the stream pool drains and
+// every blocked caller is released with ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	if !e.started {
+		e.stopOnce.Do(func() { close(e.stop) })
+		return nil
+	}
+	e.stopOnce.Do(func() { close(e.stop) })
+	<-e.loopDone
+	return e.pool.Close()
+}
+
+// loop runs iterations until stopped or failed.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	for {
+		err := e.runIteration()
+		select {
+		case e.iterDone <- err:
+		case <-e.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+		e.resetIteration()
+	}
+}
+
+func (e *Engine) resetIteration() {
+	e.session.Reset()
+	e.local.Reset()
+	e.mu.Lock()
+	e.data = make(map[int][]float32, len(e.grads))
+	e.remaining = make(map[int]int, len(e.grads))
+	e.stats.Iterations++
+	e.mu.Unlock()
+}
+
+// runIteration drives one training step's communication: consume pushes,
+// run agreement rounds, pack and dispatch units, wait for the pool.
+func (e *Engine) runIteration() error {
+	var (
+		pushedCount   int
+		bytesUnsynced int64
+		seq           int
+	)
+	total := len(e.grads)
+	record := func(p push) {
+		e.mu.Lock()
+		e.data[p.id] = p.data
+		e.mu.Unlock()
+		_ = e.local.Set(p.id)
+		pushedCount++
+		bytesUnsynced += int64(len(p.data)) * 4
+	}
+	for !e.session.Done() {
+		// Wait until a synchronization round is warranted: the unsynced
+		// bucket reached the minimum granularity, or everything local has
+		// been pushed (then rounds run back-to-back until global agreement).
+		for pushedCount < total && bytesUnsynced < e.cfg.MinSyncBytes {
+			select {
+			case p := <-e.pushCh:
+				record(p)
+			case <-e.stop:
+				return ErrClosed
+			}
+		}
+		// Drain whatever else is already queued.
+		for drained := false; !drained; {
+			select {
+			case p := <-e.pushCh:
+				record(p)
+			default:
+				drained = true
+			}
+		}
+		var syncSpan *trace.Span
+		if e.cfg.Trace != nil {
+			syncSpan = e.cfg.Trace.Begin("sync round", "sync", e.syncStream())
+		}
+		fresh, err := e.session.Update(e.local)
+		if syncSpan != nil {
+			syncSpan.Arg("fresh", strconv.Itoa(len(fresh))).End()
+		}
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.stats.SyncRounds++
+		e.mu.Unlock()
+		bytesUnsynced = 0
+		if len(fresh) == 0 {
+			continue
+		}
+		units, err := e.packer.Pack(e.registry.ByID, fresh, seq)
+		if err != nil {
+			return err
+		}
+		seq += len(units)
+		e.mu.Lock()
+		for _, u := range units {
+			for _, f := range u.Fragments {
+				e.remaining[f.GradID]++
+			}
+		}
+		e.mu.Unlock()
+		for _, u := range units {
+			if err := e.dispatch(u); err != nil {
+				return err
+			}
+		}
+	}
+	return e.pool.Wait()
+}
+
+// dispatch submits one unit to the stream pool. Round-robin submission
+// order is identical on every rank (units are generated in the same order),
+// so unit k lands on stream k mod Streams everywhere — the implicit
+// agreement that lets ring messages match.
+func (e *Engine) dispatch(u packing.Unit) error {
+	err := e.pool.Submit(func(streamID int) error {
+		if e.cfg.Trace != nil {
+			span := e.cfg.Trace.Begin(fmt.Sprintf("all-reduce unit %d", u.Seq), "comm", streamID)
+			span.Arg("bytes", strconv.FormatInt(u.Bytes(), 10))
+			defer span.End()
+		}
+		buf := make([]float32, u.Elems)
+		if err := packing.Gather(u, e.gradData, buf); err != nil {
+			return err
+		}
+		var rerr error
+		switch e.cfg.Algorithm {
+		case Hierarchical:
+			rerr = collective.HierarchicalAllReduceCodec(
+				e.comm, streamID, e.cfg.GPUsPerNode, buf, tensor.OpSum, e.cfg.Codec)
+		default:
+			rerr = collective.RingAllReduceCodec(e.comm, streamID, buf, tensor.OpSum, e.cfg.Codec)
+		}
+		if rerr != nil {
+			return fmt.Errorf("unit %d all-reduce: %w", u.Seq, rerr)
+		}
+		if e.cfg.Average && e.comm.Size() > 1 {
+			inv := float32(1) / float32(e.comm.Size())
+			for i := range buf {
+				buf[i] *= inv
+			}
+		}
+		if err := packing.Scatter(u, e.gradData, buf); err != nil {
+			return err
+		}
+		e.completeFragments(u)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.stats.Units++
+	e.stats.BytesReduced += u.Bytes()
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) gradData(id int) ([]float32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	data, ok := e.data[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: gradient %d not pushed", gradsync.ErrUnknownGradient, id)
+	}
+	return data, nil
+}
+
+func (e *Engine) completeFragments(u packing.Unit) {
+	var done []int
+	e.mu.Lock()
+	for _, f := range u.Fragments {
+		e.remaining[f.GradID]--
+		if e.remaining[f.GradID] == 0 {
+			done = append(done, f.GradID)
+		}
+	}
+	e.mu.Unlock()
+	if e.cfg.OnGradient != nil {
+		for _, id := range done {
+			e.cfg.OnGradient(e.grads[id].Name)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+// Failure injection: tearing the network down mid-iteration must surface an
+// error from WaitIteration (or Close) on the surviving workers rather than
+// hanging — the condition AIACC's checkpoint/restart path (package fault)
+// recovers from.
+func TestNetworkFailureMidIteration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 2
+	const size = 3
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := make([]*Engine, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(mpi.NewWorld(ep), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Register("w", 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Start(); err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = eng
+	}
+	defer func() {
+		for _, e := range engines {
+			_ = e.Close()
+		}
+	}()
+
+	// Ranks 0 and 1 push and wait; rank 2 never pushes, so the iteration
+	// cannot complete. Then the network dies.
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := engines[r].PushGradient("w", tensor.New(1024)); err != nil {
+				results[r] = err
+				return
+			}
+			results[r] = engines[r].WaitIteration()
+		}(r)
+	}
+	time.Sleep(50 * time.Millisecond) // let the workers block on agreement
+	if err := net.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers hung after network failure")
+	}
+	for r, err := range results {
+		if err == nil {
+			t.Errorf("rank %d: WaitIteration succeeded despite network failure", r)
+		}
+	}
+}
+
+// Closing the engine while a caller blocks in WaitIteration must release it.
+func TestCloseUnblocksWaitIteration(t *testing.T) {
+	cfg := DefaultConfig()
+	net, err := transport.NewMem(2, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	ep, _ := net.Endpoint(0)
+	eng, err := NewEngine(mpi.NewWorld(ep), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register("w", 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- eng.WaitIteration() }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { _ = eng.Close() }()
+	select {
+	case err := <-waitErr:
+		if err == nil {
+			t.Error("WaitIteration returned nil after Close")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitIteration hung after Close")
+	}
+	_ = net.Close()
+}
+
+// The engine must survive many consecutive iterations with stable counters
+// and no state leakage between them.
+func TestEngineManyIterations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GranularityBytes = 2048
+	cfg.MinSyncBytes = 2048
+	const size, iters = 2, 25
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			eng, err := NewEngine(mpi.NewWorld(ep), cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, p := range []struct {
+				name  string
+				elems int
+			}{{name: "a", elems: 700}, {name: "b", elems: 300}, {name: "c", elems: 11}} {
+				if err := eng.Register(p.name, p.elems); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			for it := 1; it <= iters; it++ {
+				ga := tensor.Filled(float32(it+r), 700)
+				gb := tensor.Filled(float32(it-r), 300)
+				gc := tensor.Filled(float32(r), 11)
+				for _, push := range []struct {
+					name string
+					t    *tensor.Tensor
+				}{{name: "c", t: gc}, {name: "a", t: ga}, {name: "b", t: gb}} {
+					if err := eng.PushGradient(push.name, push.t); err != nil {
+						errc <- fmt.Errorf("iter %d: %w", it, err)
+						return
+					}
+				}
+				if err := eng.WaitIteration(); err != nil {
+					errc <- fmt.Errorf("iter %d: %w", it, err)
+					return
+				}
+				// Mean over ranks {0,1}: a -> it+0.5, b -> it-0.5, c -> 0.5.
+				if ga.At(0) != float32(it)+0.5 || gb.At(0) != float32(it)-0.5 || gc.At(0) != 0.5 {
+					errc <- fmt.Errorf("iter %d: wrong averages %v %v %v", it, ga.At(0), gb.At(0), gc.At(0))
+					return
+				}
+			}
+			st := eng.Stats()
+			if st.Iterations != iters {
+				errc <- fmt.Errorf("Iterations = %d, want %d", st.Iterations, iters)
+			}
+			wantBytes := int64(iters * (700 + 300 + 11) * 4)
+			if st.BytesReduced != wantBytes {
+				errc <- fmt.Errorf("BytesReduced = %d, want %d", st.BytesReduced, wantBytes)
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// An engine over the multi-process TCP rendezvous transport (NewTCPWorker)
+// must behave identically to the in-process transports.
+func TestEngineOverTCPWorkerMesh(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 2
+	const size = 2
+	addrs, err := transport.FreeAddrs(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := transport.NewTCPWorker(r, cfg.RequiredStreams(), addrs)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = ep.Close() }()
+			eng, err := NewEngine(mpi.NewWorld(ep), cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			if err := eng.Register("w", 500); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			g := tensor.Filled(float32(r+1), 500)
+			if err := eng.PushGradient("w", g); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.WaitIteration(); err != nil {
+				errc <- err
+				return
+			}
+			if g.At(0) != 1.5 { // mean of 1 and 2
+				errc <- fmt.Errorf("rank %d: g = %v, want 1.5", r, g.At(0))
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// Errors sentinel wiring.
+func TestErrorSentinels(t *testing.T) {
+	if !errors.Is(fmt.Errorf("x: %w", ErrClosed), ErrClosed) {
+		t.Error("ErrClosed wrapping broken")
+	}
+	var nan *NaNError
+	err := error(&NaNError{Name: "w", Index: 3})
+	if !errors.As(err, &nan) || nan.Error() == "" {
+		t.Error("NaNError interface broken")
+	}
+}

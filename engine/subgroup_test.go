@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+// Hybrid data+model parallelism in live mode (Fig. 13's setting): 4 workers
+// split into 2 model-parallel shards; data-parallel replicas of the *same*
+// shard all-reduce within their subgroup communicator. Each shard group must
+// average independently with no cross-talk.
+func TestEnginesOverSubgroups(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 2
+	const size = 4
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	// Shard 0 is replicated on global ranks {0, 2}; shard 1 on {1, 3}.
+	groups := map[int][]int{0: {0, 2}, 1: {1, 3}}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			world := mpi.NewWorld(ep)
+			shard := r % 2
+			sub, err := world.Subgroup(groups[shard])
+			if err != nil {
+				errc <- err
+				return
+			}
+			eng, err := NewEngine(sub, cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			// Each shard owns a differently named parameter set.
+			name := fmt.Sprintf("shard%d.weight", shard)
+			if err := eng.Register(name, 256); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			// Gradient value = 10*shard + global rank; the average stays
+			// within the shard group.
+			g := tensor.Filled(float32(10*shard+r), 256)
+			if err := eng.PushGradient(name, g); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.WaitIteration(); err != nil {
+				errc <- err
+				return
+			}
+			var want float32
+			for _, gr := range groups[shard] {
+				want += float32(10*shard + gr)
+			}
+			want /= float32(len(groups[shard]))
+			if g.At(0) != want || g.At(255) != want {
+				errc <- fmt.Errorf("rank %d shard %d: avg = %v, want %v", r, shard, g.At(0), want)
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// Two independent engines on disjoint subgroups sharing one transport must
+// be able to run concurrent iterations without interfering, iteration after
+// iteration.
+func TestSubgroupEnginesRepeatedIterations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 1
+	const size, iters = 4, 5
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	groups := [][]int{{0, 1}, {2, 3}}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			world := mpi.NewWorld(ep)
+			sub, err := world.Subgroup(groups[r/2])
+			if err != nil {
+				errc <- err
+				return
+			}
+			eng, err := NewEngine(sub, cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			if err := eng.Register("w", 64); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			for it := 1; it <= iters; it++ {
+				g := tensor.Filled(float32(r*it), 64)
+				if err := eng.PushGradient("w", g); err != nil {
+					errc <- err
+					return
+				}
+				if err := eng.WaitIteration(); err != nil {
+					errc <- err
+					return
+				}
+				lo := groups[r/2][0]
+				want := float32(lo*it+(lo+1)*it) / 2
+				if g.At(0) != want {
+					errc <- fmt.Errorf("rank %d iter %d: %v, want %v", r, it, g.At(0), want)
+					return
+				}
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/trace"
+	"aiacc/transport"
+)
+
+// A traced engine run must produce push instants, sync-round spans and
+// per-stream all-reduce spans whose lanes match the engine's stream layout,
+// and the export must be consumable.
+func TestEngineTracing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Streams = 3
+	cfg.GranularityBytes = 1024
+	cfg.MinSyncBytes = 1024
+	const size = 2
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	recorders := make([]*trace.Recorder, size)
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		recorders[r] = rec
+		cfgR := cfg
+		cfgR.Trace = rec
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint, cfgR Config) {
+			defer wg.Done()
+			eng, err := NewEngine(mpi.NewWorld(ep), cfgR)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+			for _, p := range []string{"a", "b"} {
+				if err := eng.Register(p, 600); err != nil {
+					errc <- err
+					return
+				}
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			for it := 0; it < 2; it++ {
+				for _, p := range []string{"b", "a"} {
+					if err := eng.PushGradient(p, tensor.Filled(1, 600)); err != nil {
+						errc <- err
+						return
+					}
+				}
+				if err := eng.WaitIteration(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(r, ep, cfgR)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	rec := recorders[0]
+	var pushes, syncs, units int
+	for _, e := range rec.Events() {
+		switch e.Cat {
+		case "gradient":
+			pushes++
+			if e.TID != cfg.Streams+1 {
+				t.Errorf("push on lane %d, want %d", e.TID, cfg.Streams+1)
+			}
+		case "sync":
+			syncs++
+			if e.TID != cfg.Streams {
+				t.Errorf("sync on lane %d, want %d", e.TID, cfg.Streams)
+			}
+		case "comm":
+			units++
+			if e.TID < 0 || e.TID >= cfg.Streams {
+				t.Errorf("unit on lane %d, want stream lane", e.TID)
+			}
+			if !strings.HasPrefix(e.Name, "all-reduce unit") {
+				t.Errorf("unit name = %q", e.Name)
+			}
+			if e.Args["bytes"] == "" {
+				t.Error("unit span missing bytes arg")
+			}
+		}
+	}
+	// 2 iterations x 2 gradients pushed; at least one sync round and unit
+	// per iteration.
+	if pushes != 4 {
+		t.Errorf("pushes = %d, want 4", pushes)
+	}
+	if syncs < 2 || units < 2 {
+		t.Errorf("syncs = %d, units = %d; want >= 2 each", syncs, units)
+	}
+	var buf bytes.Buffer
+	if err := rec.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty export")
+	}
+}

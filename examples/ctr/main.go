@@ -1,0 +1,170 @@
+// Production CTR recommender (§VIII-C): the workload where the master-node
+// synchronization strategy collapses and AIACC's decentralized scheme wins
+// by an order of magnitude.
+//
+// The synthetic CTR model has thousands of small embedding-gradient tensors
+// and almost no compute. Part 1 demonstrates the mechanism *live*: the same
+// engine run with the decentralized coordinator and with the Horovod-style
+// master coordinator on a miniature CTR model (hundreds of tiny tensors),
+// comparing wall-clock per iteration. Part 2 replays the full-scale
+// production scenario (4096 embedding tables, 128 GPUs) on the cluster
+// simulator, reproducing the paper's 13.4x-class improvement.
+//
+//	go run ./examples/ctr
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"aiacc/cluster"
+	"aiacc/model"
+	"aiacc/netmodel"
+	"aiacc/perseus"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+func main() {
+	if err := livePart(); err != nil {
+		fmt.Fprintln(os.Stderr, "ctr live:", err)
+		os.Exit(1)
+	}
+	if err := simPart(); err != nil {
+		fmt.Fprintln(os.Stderr, "ctr sim:", err)
+		os.Exit(1)
+	}
+}
+
+// livePart runs a miniature CTR iteration (400 tiny embedding tensors) under
+// both coordinators on 4 live workers and compares iteration latency.
+func livePart() error {
+	const (
+		workers = 4
+		tables  = 400
+		rows    = 64
+		dim     = 8
+		iters   = 5
+	)
+	fmt.Printf("live mini-CTR: %d embedding tensors x %d workers, %d iterations per coordinator\n",
+		tables, workers, iters)
+
+	runWith := func(extra ...perseus.Option) (time.Duration, error) {
+		opts := append([]perseus.Option{
+			perseus.WithStreams(4),
+			perseus.WithGranularity(64 << 10),
+		}, extra...)
+		streams, err := perseus.RequiredStreams(opts...)
+		if err != nil {
+			return 0, err
+		}
+		net, err := transport.NewMem(workers, streams)
+		if err != nil {
+			return 0, err
+		}
+		defer func() { _ = net.Close() }()
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		for r := 0; r < workers; r++ {
+			ep, err := net.Endpoint(r)
+			if err != nil {
+				return 0, err
+			}
+			wg.Add(1)
+			go func(rank int, ep transport.Endpoint) {
+				defer wg.Done()
+				s, err := perseus.NewSession(ep, opts...)
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer func() { _ = s.Close() }()
+				grads := make(map[string]*tensor.Tensor, tables)
+				for i := 0; i < tables; i++ {
+					name := fmt.Sprintf("emb%04d.weight", i)
+					if err := s.Register(name, rows*dim); err != nil {
+						errc <- err
+						return
+					}
+					grads[name] = tensor.Filled(float32(rank), rows*dim)
+				}
+				if err := s.Start(); err != nil {
+					errc <- err
+					return
+				}
+				for it := 0; it < iters; it++ {
+					if err := s.AllReduce(grads); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(r, ep)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			return 0, err
+		}
+		return time.Since(start) / iters, nil
+	}
+
+	decentralized, err := runWith()
+	if err != nil {
+		return err
+	}
+	master, err := runWith(perseus.WithMasterCoordinator())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  decentralized sync: %v/iter\n", decentralized.Round(time.Microsecond))
+	fmt.Printf("  master sync:        %v/iter\n\n", master.Round(time.Microsecond))
+	return nil
+}
+
+// simPart replays the production scenario at paper scale.
+func simPart() error {
+	ctr := model.CTR()
+	fmt.Printf("production CTR on the cluster simulator: %.0fM parameters in %d gradient tensors\n",
+		float64(ctr.NumParams())/1e6, ctr.NumGradients())
+
+	mk := func(kind cluster.EngineKind, gpus int) cluster.Config {
+		cfg := cluster.Config{
+			Topology: netmodel.V100Cluster(gpus),
+			GPU:      cluster.V100(),
+			Model:    ctr,
+			Engine:   cluster.EngineDefaults(kind),
+		}
+		if kind == cluster.AIACC {
+			cfg.Decentralized = true
+			cfg.Engine.Streams = 16
+			cfg.Engine.WireBytesPerElem = 2 // production uses compression
+		}
+		return cfg
+	}
+	for _, gpus := range []int{32, 64, 128} {
+		ai, err := cluster.Simulate(mk(cluster.AIACC, gpus))
+		if err != nil {
+			return err
+		}
+		hv, err := cluster.Simulate(mk(cluster.Horovod, gpus))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %3d GPUs: aiacc %.2fM rec/s, horovod %.2fM rec/s -> %.1fx (%d sync rounds vs %d)\n",
+			gpus, ai.Throughput/1e6, hv.Throughput/1e6, ai.Throughput/hv.Throughput,
+			ai.SyncRounds, hv.SyncRounds)
+	}
+	// Records-per-5h capacity, the paper's "100+ billion entries in 5 hours".
+	ai, err := cluster.Simulate(mk(cluster.AIACC, 128))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("at 128 GPUs AIACC processes %.0fB records in 5 hours (paper: 100+ billion)\n",
+		ai.Throughput*5*3600/1e9)
+	fmt.Println("paper: 13.4x over hand-tuned Horovod DDL at 128 GPUs for this workload class")
+	return nil
+}

@@ -1,0 +1,187 @@
+// Elastic deployment and fault tolerance (§IV "Other features"):
+//
+//  1. Three workers train an MLP through the AIACC engine, checkpointing
+//     every few steps with the atomic checkpoint manager.
+//
+//  2. The cluster "crashes": all live state is discarded.
+//
+//  3. Training restarts from the latest checkpoint on a *larger* cluster —
+//     five workers, two of them brand new. The surviving state is restored
+//     on rank 0 and propagated to every worker with a parameter broadcast
+//     (the elastic-join path), then training continues where it left off.
+//
+//     go run ./examples/elastic
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"aiacc/fault"
+	"aiacc/optimizer"
+	"aiacc/perseus"
+	"aiacc/tensor"
+	"aiacc/train"
+	"aiacc/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "elastic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ckptDir, err := os.MkdirTemp("", "aiacc-elastic-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(ckptDir) }()
+	manager, err := fault.NewManager(ckptDir, 3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("phase 1: training on 3 workers with periodic checkpoints")
+	if err := trainPhase(3, 12, manager, false); err != nil {
+		return err
+	}
+
+	ck, err := manager.Latest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n--- simulated node failure; latest checkpoint is step %d ---\n\n", ck.Step)
+
+	fmt.Println("phase 2: elastic restart on 5 workers (2 newly joined) from the checkpoint")
+	return trainPhase(5, 12, manager, true)
+}
+
+// trainPhase runs one training phase on `workers` workers.
+func trainPhase(workers, steps int, manager *fault.Manager, restore bool) error {
+	opts := []perseus.Option{perseus.WithStreams(2), perseus.WithGranularity(32 << 10)}
+	streams, err := perseus.RequiredStreams(opts...)
+	if err != nil {
+		return err
+	}
+	net, err := transport.NewMem(workers, streams)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = net.Close() }()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for r := 0; r < workers; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			if err := workerPhase(rank, ep, opts, steps, manager, restore); err != nil {
+				errc <- fmt.Errorf("rank %d: %w", rank, err)
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	return nil
+}
+
+func workerPhase(rank int, ep transport.Endpoint, opts []perseus.Option, steps int,
+	manager *fault.Manager, restore bool) error {
+	session, err := perseus.NewSession(ep, opts...)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = session.Close() }()
+
+	mlp, err := train.NewMLP(3, 4, 16, 1)
+	if err != nil {
+		return err
+	}
+	params := mlp.Params()
+	if err := session.RegisterParams(params); err != nil {
+		return err
+	}
+	if err := session.Start(); err != nil {
+		return err
+	}
+
+	byName := make(map[string]*tensor.Tensor, len(params))
+	for _, p := range params {
+		byName[p.Name] = p.Weight
+	}
+
+	startStep := 0
+	if restore {
+		// Only rank 0 reads the checkpoint (new workers may not even have
+		// the file); the broadcast below propagates the state.
+		if rank == 0 {
+			ck, err := manager.Latest()
+			if err != nil {
+				return err
+			}
+			if err := ck.Restore(byName); err != nil {
+				return err
+			}
+			startStep = ck.Step
+			fmt.Printf("rank 0 restored checkpoint at step %d\n", ck.Step)
+		}
+		// Elastic join: every worker (old or new) adopts rank 0's state.
+		if err := session.BroadcastParameters(params, 0); err != nil {
+			return err
+		}
+		// All ranks must agree on the resume step; broadcast it as a
+		// one-element tensor from rank 0.
+		stepT := tensor.FromSlice([]float32{float32(startStep)})
+		if err := session.BroadcastParameters([]optimizer.Param{{Name: "__resume_step", Weight: stepT}}, 0); err != nil {
+			return err
+		}
+		startStep = int(stepT.At(0))
+	}
+
+	sgd, err := optimizer.NewSGD(optimizer.Const(0.05), 0.9, 0)
+	if err != nil {
+		return err
+	}
+	opt := session.DistributedOptimizer(sgd)
+
+	rng := rand.New(rand.NewSource(int64(rank + 100)))
+	for step := startStep + 1; step <= startStep+steps; step++ {
+		const batch = 8
+		ins := make([][]float32, batch)
+		outs := make([][]float32, batch)
+		for i := range ins {
+			x := []float32{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}
+			ins[i] = x
+			outs[i] = []float32{x[0] - x[2]}
+		}
+		loss, err := mlp.Backward(ins, outs)
+		if err != nil {
+			return err
+		}
+		if err := opt.Step(step, params); err != nil {
+			return err
+		}
+		if rank == 0 {
+			if step%4 == 0 {
+				if err := manager.Save(fault.Snapshot(step, byName, map[string]string{"phase": "demo"})); err != nil {
+					return err
+				}
+				fmt.Printf("step %3d  loss %.5f  (checkpoint saved)\n", step, loss)
+			} else if step%2 == 0 {
+				fmt.Printf("step %3d  loss %.5f\n", step, loss)
+			}
+		}
+	}
+	return nil
+}

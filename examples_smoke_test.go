@@ -1,0 +1,78 @@
+package aiacc_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The examples are runnable mains; these smoke tests build and execute them
+// end to end so they cannot rot. examples/bert is excluded: its live
+// BERT-Large iteration intentionally allocates gigabytes.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each")
+	}
+	cases := []struct {
+		dir     string
+		wants   []string
+		timeout time.Duration
+	}{
+		{
+			dir:     "./examples/quickstart",
+			wants:   []string{"step 100", "engine stats"},
+			timeout: 2 * time.Minute,
+		},
+		{
+			dir:     "./examples/elastic",
+			wants:   []string{"simulated node failure", "rank 0 restored checkpoint", "checkpoint saved"},
+			timeout: 2 * time.Minute,
+		},
+		{
+			dir:     "./examples/ctr",
+			wants:   []string{"decentralized sync", "128 GPUs", "13.4x"},
+			timeout: 3 * time.Minute,
+		},
+		{
+			dir:     "./examples/hybrid",
+			wants:   []string{"shard 0", "shard 1", "Fig. 13"},
+			timeout: 2 * time.Minute,
+		},
+		{
+			dir:     "./examples/imagenet",
+			wants:   []string{"resnet50", "vgg16", "aiacc"},
+			timeout: 5 * time.Minute,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", tc.dir)
+			out := &strings.Builder{}
+			cmd.Stdout = out
+			cmd.Stderr = out
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example failed: %v\n%s", err, out.String())
+				}
+			case <-time.After(tc.timeout):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example timed out after %v\n%s", tc.timeout, out.String())
+			}
+			text := out.String()
+			for _, want := range tc.wants {
+				if !strings.Contains(text, want) {
+					t.Errorf("output missing %q:\n%s", want, text)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+// Package fault provides the production robustness features of
+// AIACC-Training (§IV "Other features and optimizations"): checkpointing so
+// training restarts from the last saved state after a node failure, and
+// elastic deployment, where newly added workers receive the current model
+// parameters by broadcast before joining the data-parallel group. (The NaN
+// gradient debugging aid lives in the engine itself: engine.Config.DetectNaN.)
+package fault
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aiacc/engine"
+	"aiacc/tensor"
+)
+
+// Common errors.
+var (
+	// ErrNoCheckpoint indicates no checkpoint exists yet.
+	ErrNoCheckpoint = errors.New("fault: no checkpoint")
+	// ErrCorruptCheckpoint indicates an unreadable checkpoint file.
+	ErrCorruptCheckpoint = errors.New("fault: corrupt checkpoint")
+)
+
+// Checkpoint is a self-contained snapshot of training state.
+type Checkpoint struct {
+	// Step is the number of completed training iterations.
+	Step int
+	// Params maps parameter names to their flat fp32 values.
+	Params map[string][]float32
+	// Meta carries free-form bookkeeping (model name, hyper-parameters).
+	Meta map[string]string
+}
+
+// Snapshot captures the named tensors into a checkpoint at the given step.
+func Snapshot(step int, params map[string]*tensor.Tensor, meta map[string]string) *Checkpoint {
+	ck := &Checkpoint{Step: step, Params: make(map[string][]float32, len(params)), Meta: meta}
+	for name, t := range params {
+		buf := make([]float32, t.Len())
+		copy(buf, t.Data())
+		ck.Params[name] = buf
+	}
+	return ck
+}
+
+// Restore copies the checkpoint's values back into the named tensors. Every
+// checkpoint parameter must exist with a matching length.
+func (ck *Checkpoint) Restore(params map[string]*tensor.Tensor) error {
+	for name, vals := range ck.Params {
+		t, ok := params[name]
+		if !ok {
+			return fmt.Errorf("%w: parameter %q missing", ErrCorruptCheckpoint, name)
+		}
+		if t.Len() != len(vals) {
+			return fmt.Errorf("%w: parameter %q has %d elements, checkpoint %d",
+				ErrCorruptCheckpoint, name, t.Len(), len(vals))
+		}
+		copy(t.Data(), vals)
+	}
+	return nil
+}
+
+// Write serializes the checkpoint.
+func (ck *Checkpoint) Write(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a checkpoint.
+func Read(r io.Reader) (*Checkpoint, error) {
+	var ck Checkpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	return &ck, nil
+}
+
+// Manager persists checkpoints to a directory with atomic renames and keeps
+// a bounded history.
+type Manager struct {
+	dir  string
+	keep int
+}
+
+// NewManager returns a manager writing to dir, keeping the newest `keep`
+// checkpoints (minimum 1).
+func NewManager(dir string, keep int) (*Manager, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint dir: %w", err)
+	}
+	return &Manager{dir: dir, keep: keep}, nil
+}
+
+func (m *Manager) path(step int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("ckpt-%012d.gob", step))
+}
+
+// Save writes the checkpoint atomically (temp file + rename) and prunes old
+// ones.
+func (m *Manager) Save(ck *Checkpoint) error {
+	tmp, err := os.CreateTemp(m.dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := ck.Write(tmp); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpName, m.path(ck.Step)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint rename: %w", err)
+	}
+	return m.prune()
+}
+
+// steps returns all checkpoint steps present, ascending.
+func (m *Manager) steps() ([]int, error) {
+	entries, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint list: %w", err)
+	}
+	var steps []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".gob") {
+			continue
+		}
+		s, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".gob"))
+		if err != nil {
+			continue
+		}
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps, nil
+}
+
+func (m *Manager) prune() error {
+	steps, err := m.steps()
+	if err != nil {
+		return err
+	}
+	for len(steps) > m.keep {
+		if err := os.Remove(m.path(steps[0])); err != nil {
+			return fmt.Errorf("checkpoint prune: %w", err)
+		}
+		steps = steps[1:]
+	}
+	return nil
+}
+
+// Latest loads the newest checkpoint, or ErrNoCheckpoint.
+func (m *Manager) Latest() (*Checkpoint, error) {
+	steps, err := m.steps()
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) == 0 {
+		return nil, ErrNoCheckpoint
+	}
+	f, err := os.Open(m.path(steps[len(steps)-1]))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint open: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	return Read(f)
+}
+
+// SyncParameters implements elastic join: every worker calls it collectively
+// and the root's parameter values are broadcast to all, so newly added
+// workers start from the live model state. Parameters are broadcast in
+// sorted name order so all ranks agree on the sequence.
+func SyncParameters(e *engine.Engine, params map[string]*tensor.Tensor, root int) error {
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := e.Broadcast(params[name], root); err != nil {
+			return fmt.Errorf("sync parameter %q: %w", name, err)
+		}
+	}
+	return nil
+}

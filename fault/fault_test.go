@@ -1,0 +1,271 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"aiacc/engine"
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+func sampleParams() map[string]*tensor.Tensor {
+	w := tensor.FromSlice([]float32{1, 2, 3})
+	b := tensor.FromSlice([]float32{4})
+	return map[string]*tensor.Tensor{"w": w, "b": b}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	params := sampleParams()
+	ck := Snapshot(42, params, map[string]string{"model": "tinymlp"})
+	if ck.Step != 42 || len(ck.Params) != 2 || ck.Meta["model"] != "tinymlp" {
+		t.Fatalf("snapshot = %+v", ck)
+	}
+	// Snapshot must be a copy.
+	params["w"].Set(0, 99)
+	if ck.Params["w"][0] != 1 {
+		t.Error("snapshot aliases live tensors")
+	}
+	// Restore into fresh tensors.
+	dst := map[string]*tensor.Tensor{"w": tensor.New(3), "b": tensor.New(1)}
+	if err := ck.Restore(dst); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst["w"].At(0) != 1 || dst["w"].At(2) != 3 || dst["b"].At(0) != 4 {
+		t.Errorf("restored values wrong: %v %v", dst["w"].Data(), dst["b"].Data())
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	ck := Snapshot(1, sampleParams(), nil)
+	missing := map[string]*tensor.Tensor{"w": tensor.New(3)}
+	if err := ck.Restore(missing); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("missing param error = %v", err)
+	}
+	wrongLen := map[string]*tensor.Tensor{"w": tensor.New(5), "b": tensor.New(1)}
+	if err := ck.Restore(wrongLen); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("wrong length error = %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ck := Snapshot(7, sampleParams(), map[string]string{"k": "v"})
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Step != 7 || got.Meta["k"] != "v" || got.Params["w"][1] != 2 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := Read(bytes.NewBufferString("junk")); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("corrupt read error = %v", err)
+	}
+}
+
+func TestManagerSaveLatestPrune(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("empty Latest error = %v", err)
+	}
+	for step := 1; step <= 5; step++ {
+		params := sampleParams()
+		params["w"].Set(0, float32(step))
+		if err := m.Save(Snapshot(step, params, nil)); err != nil {
+			t.Fatalf("Save(%d): %v", step, err)
+		}
+	}
+	latest, err := m.Latest()
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if latest.Step != 5 || latest.Params["w"][0] != 5 {
+		t.Errorf("latest = step %d w0=%v", latest.Step, latest.Params["w"][0])
+	}
+	steps, err := m.steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0] != 4 || steps[1] != 5 {
+		t.Errorf("retained steps = %v, want [4 5]", steps)
+	}
+}
+
+func TestManagerKeepMinimum(t *testing.T) {
+	m, err := NewManager(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.keep != 1 {
+		t.Errorf("keep = %d, want clamped to 1", m.keep)
+	}
+}
+
+// Simulated failure/restart: train, checkpoint, "crash", restore, verify
+// state equality.
+func TestCrashRestartCycle(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sampleParams()
+	for step := 1; step <= 10; step++ {
+		params["w"].Set(0, float32(step)*1.5)
+		if step%5 == 0 {
+			if err := m.Save(Snapshot(step, params, nil)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Crash: lose in-memory state.
+	fresh := map[string]*tensor.Tensor{"w": tensor.New(3), "b": tensor.New(1)}
+	ck, err := m.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Restore(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Step != 10 || fresh["w"].At(0) != 15 {
+		t.Errorf("restart state: step=%d w0=%v", ck.Step, fresh["w"].At(0))
+	}
+}
+
+// Elastic join: rank 0 holds trained parameters; joining workers receive
+// them via collective SyncParameters.
+func TestSyncParametersElasticJoin(t *testing.T) {
+	const size = 3
+	cfg := engine.DefaultConfig()
+	net, err := transport.NewMem(size, cfg.RequiredStreams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			eng, err := engine.NewEngine(mpi.NewWorld(ep), cfg)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.Register("w", 4); err != nil {
+				errc <- err
+				return
+			}
+			if err := eng.Start(); err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = eng.Close() }()
+
+			params := map[string]*tensor.Tensor{"w": tensor.New(4)}
+			if r == 0 { // the established worker has live state
+				for i := 0; i < 4; i++ {
+					params["w"].Set(i, float32(10+i))
+				}
+			}
+			if err := SyncParameters(eng, params, 0); err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < 4; i++ {
+				if params["w"].At(i) != float32(10+i) {
+					errc <- errors.New("joined worker did not receive parameters")
+					return
+				}
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestManagerSaveErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory out from under the manager so temp creation
+	// fails (chmod is unreliable for root).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(Snapshot(1, sampleParams(), nil)); err == nil {
+		t.Error("Save into a missing dir must fail")
+	}
+	if _, err := m.Latest(); err == nil {
+		t.Error("Latest on a missing dir must fail")
+	}
+}
+
+func TestManagerIgnoresJunkFiles(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Junk files that must not confuse the step parser.
+	for _, name := range []string{"README", "ckpt-junk.gob", "ckpt-5.tmp", "other.gob"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Latest with only junk = %v, want ErrNoCheckpoint", err)
+	}
+	if err := m.Save(Snapshot(3, sampleParams(), nil)); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := m.Latest()
+	if err != nil || ck.Step != 3 {
+		t.Errorf("Latest = %+v, %v", ck, err)
+	}
+}
+
+func TestNewManagerBadDir(t *testing.T) {
+	// A path under a file cannot be created.
+	f := filepath.Join(t.TempDir(), "afile")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(filepath.Join(f, "sub"), 1); err == nil {
+		t.Error("NewManager under a file must fail")
+	}
+}
+
+func TestCheckpointWriteFailure(t *testing.T) {
+	ck := Snapshot(1, sampleParams(), nil)
+	if err := ck.Write(failWriter{}); err == nil {
+		t.Error("Write to failing writer must fail")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }

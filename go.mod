@@ -1,0 +1,3 @@
+module aiacc
+
+go 1.24

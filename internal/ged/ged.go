@@ -1,0 +1,267 @@
+// Package ged computes an approximate graph edit distance (GED) between
+// small labelled, weighted graphs. AIACC-Training uses GED to decide whether
+// a previously tuned parameter setting applies to a new deployment (§VI): it
+// compares the DNN computation graph and the network topology graph of the
+// new job against cached ones and warm-starts the search from the most
+// similar entry.
+//
+// Exact GED is NP-hard; this package implements the bipartite assignment
+// approximation of Riesen & Bunke: a cost matrix couples every node of one
+// graph to every node of the other (plus insertion/deletion slots), with
+// each entry combining the node substitution cost and a greedy estimate of
+// the incident-edge edit cost. The optimal assignment — found with the
+// Hungarian algorithm, implemented here from scratch — upper-bounds the true
+// edit distance and preserves its ordering well in practice.
+package ged
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadGraph indicates an inconsistent graph operation.
+var ErrBadGraph = errors.New("ged: bad graph")
+
+// Graph is a small undirected graph with string node labels and weighted
+// edges.
+type Graph struct {
+	labels []string
+	adj    []map[int]float64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{}
+}
+
+// AddNode appends a node with the given label and returns its index.
+func (g *Graph) AddNode(label string) int {
+	g.labels = append(g.labels, label)
+	g.adj = append(g.adj, make(map[int]float64))
+	return len(g.labels) - 1
+}
+
+// AddEdge connects nodes a and b with weight w (replacing any existing
+// edge). Self-loops are rejected.
+func (g *Graph) AddEdge(a, b int, w float64) error {
+	if a < 0 || b < 0 || a >= len(g.labels) || b >= len(g.labels) {
+		return fmt.Errorf("%w: edge (%d,%d) of %d nodes", ErrBadGraph, a, b, len(g.labels))
+	}
+	if a == b {
+		return fmt.Errorf("%w: self-loop at %d", ErrBadGraph, a)
+	}
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+	return nil
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return len(g.labels) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// Label returns node i's label.
+func (g *Graph) Label(i int) string { return g.labels[i] }
+
+// Degree returns node i's degree.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// incidentWeights returns node i's sorted incident edge weights.
+func (g *Graph) incidentWeights(i int) []float64 {
+	ws := make([]float64, 0, len(g.adj[i]))
+	for _, w := range g.adj[i] {
+		ws = append(ws, w)
+	}
+	sort.Float64s(ws)
+	return ws
+}
+
+// Costs parameterizes the edit operations.
+type Costs struct {
+	// NodeSub is the cost of relabelling a node; nil means 0 when labels
+	// match, 1 otherwise.
+	NodeSub func(a, b string) float64
+	// NodeInsDel is the cost of inserting or deleting a node.
+	NodeInsDel float64
+	// EdgeSub is the cost of changing an edge weight; nil means
+	// |wa-wb|/max(wa,wb) (relative difference).
+	EdgeSub func(wa, wb float64) float64
+	// EdgeInsDel is the cost of inserting or deleting an edge.
+	EdgeInsDel float64
+}
+
+// DefaultCosts returns unit edit costs with relative edge-weight
+// substitution.
+func DefaultCosts() Costs {
+	return Costs{NodeInsDel: 1, EdgeInsDel: 1}
+}
+
+func (c Costs) nodeSub(a, b string) float64 {
+	if c.NodeSub != nil {
+		return c.NodeSub(a, b)
+	}
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+func (c Costs) edgeSub(wa, wb float64) float64 {
+	if c.EdgeSub != nil {
+		return c.EdgeSub(wa, wb)
+	}
+	den := math.Max(math.Abs(wa), math.Abs(wb))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(wa-wb) / den
+}
+
+// edgeSetCost greedily matches two sorted incident-weight lists and charges
+// substitution for matched pairs and insertion/deletion for the rest.
+func (c Costs) edgeSetCost(wa, wb []float64) float64 {
+	n := len(wa)
+	if len(wb) < n {
+		n = len(wb)
+	}
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		cost += c.edgeSub(wa[i], wb[i])
+	}
+	cost += float64(len(wa)-n+len(wb)-n) * c.EdgeInsDel
+	// Each edge is incident to two nodes, so halve to avoid double counting
+	// across the assignment.
+	return cost / 2
+}
+
+// Distance returns the approximate edit distance between a and b.
+func Distance(a, b *Graph, costs Costs) float64 {
+	n, m := a.Nodes(), b.Nodes()
+	if n == 0 && m == 0 {
+		return 0
+	}
+	size := n + m
+	// C[i][j]: i<n are a's nodes, i>=n are insertion slots; j<m are b's
+	// nodes, j>=m deletion slots.
+	big := 0.0
+	c := make([][]float64, size)
+	for i := range c {
+		c[i] = make([]float64, size)
+	}
+	for i := 0; i < n; i++ {
+		wa := a.incidentWeights(i)
+		for j := 0; j < m; j++ {
+			c[i][j] = costs.nodeSub(a.Label(i), b.Label(j)) + costs.edgeSetCost(wa, b.incidentWeights(j))
+			big = math.Max(big, c[i][j])
+		}
+	}
+	delCost := func(g *Graph, i int) float64 {
+		return costs.NodeInsDel + float64(g.Degree(i))*costs.EdgeInsDel/2
+	}
+	for i := 0; i < n; i++ {
+		big = math.Max(big, delCost(a, i))
+	}
+	for j := 0; j < m; j++ {
+		big = math.Max(big, delCost(b, j))
+	}
+	inf := big*float64(size) + 1
+	for i := 0; i < n; i++ {
+		for j := m; j < size; j++ {
+			if j-m == i {
+				c[i][j] = delCost(a, i)
+			} else {
+				c[i][j] = inf
+			}
+		}
+	}
+	for i := n; i < size; i++ {
+		for j := 0; j < m; j++ {
+			if i-n == j {
+				c[i][j] = delCost(b, j)
+			} else {
+				c[i][j] = inf
+			}
+		}
+	}
+	// Insertion-slot to deletion-slot pairings are free.
+	return assignmentCost(c)
+}
+
+// assignmentCost solves the square min-cost assignment problem with the
+// O(n³) Hungarian algorithm (Jonker-Volgenant potentials formulation).
+func assignmentCost(cost [][]float64) float64 {
+	n := len(cost)
+	if n == 0 {
+		return 0
+	}
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j (1-based)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return total
+}

@@ -1,0 +1,241 @@
+package ged
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// path builds a labelled path graph with unit edge weights.
+func path(labels ...string) *Graph {
+	g := NewGraph()
+	prev := -1
+	for _, l := range labels {
+		n := g.AddNode(l)
+		if prev >= 0 {
+			_ = g.AddEdge(prev, n, 1)
+		}
+		prev = n
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("gpu")
+	b := g.AddNode("gpu")
+	c := g.AddNode("nic")
+	if err := g.AddEdge(a, b, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c, 30); err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 3 || g.Edges() != 2 {
+		t.Errorf("nodes=%d edges=%d", g.Nodes(), g.Edges())
+	}
+	if g.Degree(b) != 2 || g.Degree(a) != 1 {
+		t.Error("degrees wrong")
+	}
+	if g.Label(2) != "nic" {
+		t.Error("label wrong")
+	}
+	if err := g.AddEdge(a, a, 1); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("self loop error = %v", err)
+	}
+	if err := g.AddEdge(a, 9, 1); !errors.Is(err, ErrBadGraph) {
+		t.Errorf("bad node error = %v", err)
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	g := path("a", "b", "c", "d")
+	if d := Distance(g, g, DefaultCosts()); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+	empty := NewGraph()
+	if d := Distance(empty, empty, DefaultCosts()); d != 0 {
+		t.Errorf("empty distance = %v, want 0", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	a := path("a", "b", "c")
+	b := path("a", "x", "c", "d")
+	dab := Distance(a, b, DefaultCosts())
+	dba := Distance(b, a, DefaultCosts())
+	if math.Abs(dab-dba) > 1e-9 {
+		t.Errorf("asymmetric: %v vs %v", dab, dba)
+	}
+	if dab <= 0 {
+		t.Errorf("distinct graphs distance = %v, want > 0", dab)
+	}
+}
+
+func TestDistanceSingleRelabel(t *testing.T) {
+	a := path("a", "b", "c")
+	b := path("a", "x", "c")
+	d := Distance(a, b, DefaultCosts())
+	// One relabel should cost exactly 1 (edges identical).
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("relabel distance = %v, want 1", d)
+	}
+}
+
+func TestDistanceNodeInsertion(t *testing.T) {
+	a := path("a", "b")
+	b := path("a", "b", "c")
+	d := Distance(a, b, DefaultCosts())
+	// One node insertion (cost 1) + one edge insertion (cost 1).
+	if d < 1.5 || d > 2.5 {
+		t.Errorf("insertion distance = %v, want ~2", d)
+	}
+}
+
+func TestDistanceToEmpty(t *testing.T) {
+	g := path("a", "b", "c")
+	d := Distance(g, NewGraph(), DefaultCosts())
+	// Three node deletions + two edge deletions.
+	if d < 4 || d > 6 {
+		t.Errorf("deletion distance = %v, want ~5", d)
+	}
+}
+
+func TestDistanceOrdersSimilarity(t *testing.T) {
+	// A topology that differs only in edge bandwidth must be closer than
+	// one that differs in structure.
+	base := topoGraph(4, 8)
+	sameShape := topoGraph(4, 8) // identical
+	moreNodes := topoGraph(8, 8) // double the nodes
+	fewerGPUs := topoGraph(4, 4) // fewer GPUs per node
+	d0 := Distance(base, sameShape, DefaultCosts())
+	d1 := Distance(base, fewerGPUs, DefaultCosts())
+	d2 := Distance(base, moreNodes, DefaultCosts())
+	if d0 != 0 {
+		t.Errorf("identical topologies distance = %v", d0)
+	}
+	if !(d1 > 0 && d2 > d1) {
+		t.Errorf("similarity ordering violated: same=%v fewer=%v more=%v", d0, d1, d2)
+	}
+}
+
+// topoGraph mimics the tuner's topology encoding: a star of GPU nodes around
+// each node's NIC, NICs fully connected by the inter-node bandwidth.
+func topoGraph(nodes, gpus int) *Graph {
+	g := NewGraph()
+	nics := make([]int, nodes)
+	for n := 0; n < nodes; n++ {
+		nics[n] = g.AddNode("nic")
+		for k := 0; k < gpus; k++ {
+			id := g.AddNode("gpu")
+			_ = g.AddEdge(nics[n], id, 300)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			_ = g.AddEdge(nics[i], nics[j], 30)
+		}
+	}
+	return g
+}
+
+func TestDistanceEdgeWeightSensitivity(t *testing.T) {
+	mk := func(w float64) *Graph {
+		g := NewGraph()
+		a := g.AddNode("nic")
+		b := g.AddNode("nic")
+		_ = g.AddEdge(a, b, w)
+		return g
+	}
+	d30v30 := Distance(mk(30), mk(30), DefaultCosts())
+	d30v100 := Distance(mk(30), mk(100), DefaultCosts())
+	if d30v30 != 0 {
+		t.Errorf("equal weights distance = %v", d30v30)
+	}
+	if d30v100 <= 0 {
+		t.Errorf("different bandwidth distance = %v, want > 0", d30v100)
+	}
+}
+
+func TestHungarianExactness(t *testing.T) {
+	// Verify the assignment solver on matrices with known optima.
+	tests := []struct {
+		cost [][]float64
+		want float64
+	}{
+		{cost: [][]float64{{1}}, want: 1},
+		{cost: [][]float64{{4, 1}, {2, 3}}, want: 3},                   // 1 + 2
+		{cost: [][]float64{{1, 2, 3}, {2, 4, 6}, {3, 6, 9}}, want: 10}, // 3+4+3
+		{cost: [][]float64{{0, 0}, {0, 0}}, want: 0},
+	}
+	for i, tt := range tests {
+		if got := assignmentCost(tt.cost); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("case %d: assignment = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestHungarianAgainstBruteForce(t *testing.T) {
+	// Exhaustive check on all 4x4 permutations for pseudo-random matrices.
+	for trial := 0; trial < 25; trial++ {
+		n := 4
+		cost := make([][]float64, n)
+		seed := trial*7919 + 13
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				seed = (seed*1103515245 + 12345) & 0x7fffffff
+				cost[i][j] = float64(seed % 100)
+			}
+		}
+		want := math.Inf(1)
+		perm := []int{0, 1, 2, 3}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				sum := 0.0
+				for i, j := range perm {
+					sum += cost[i][j]
+				}
+				if sum < want {
+					want = sum
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if got := assignmentCost(cost); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian = %v, brute force = %v", trial, got, want)
+		}
+	}
+}
+
+// Triangle-inequality-like sanity: distance to a slightly perturbed graph is
+// below distance to a heavily perturbed one, across sizes.
+func TestDistanceMonotoneUnderPerturbation(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = "x"
+		}
+		base := path(labels...)
+		one := path(append(append([]string{}, labels[:n-1]...), "y")...)
+		all := make([]string, n)
+		for i := range all {
+			all[i] = "y"
+		}
+		heavy := path(all...)
+		d1 := Distance(base, one, DefaultCosts())
+		dn := Distance(base, heavy, DefaultCosts())
+		if !(d1 < dn) {
+			t.Errorf("n=%d: one-label %v !< all-label %v", n, d1, dn)
+		}
+	}
+	_ = fmt.Sprintf // keep fmt for debugging variants
+}

@@ -1,0 +1,376 @@
+// Package gradsync implements gradient registration and the readiness
+// synchronization protocol of AIACC-Training (§V-A, Fig. 8).
+//
+// During model loading every training worker registers its parameters. The
+// registry sorts parameters by name and assigns each gradient a unique index
+// into the gradient synchronization vector — a bit vector with bit g set when
+// gradient g has been computed locally. Because all workers load the same
+// model, all workers derive identical indices without communicating.
+//
+// During backward propagation gradients become ready in arbitrary order, so
+// workers must agree on which gradients participate in the next all-reduce. A
+// Coordinator performs that agreement:
+//
+//   - Decentralized (AIACC): a ring all-reduce applies a min/AND to the bit
+//     vectors, so a gradient is agreed ready iff every worker produced it.
+//     No rank is special; nothing bottlenecks as workers scale.
+//   - Master (Horovod baseline): every worker sends its vector to rank 0,
+//     which ANDs them and sends the decision back — the master-node pattern
+//     the paper identifies as a scalability bottleneck (§III).
+package gradsync
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"aiacc/collective"
+	"aiacc/mpi"
+)
+
+// Common errors.
+var (
+	// ErrDuplicate indicates a parameter name registered twice.
+	ErrDuplicate = errors.New("gradsync: duplicate parameter")
+	// ErrFinalized indicates registration after Finalize.
+	ErrFinalized = errors.New("gradsync: registry finalized")
+	// ErrNotFinalized indicates lookup before Finalize.
+	ErrNotFinalized = errors.New("gradsync: registry not finalized")
+	// ErrUnknownGradient indicates an id or name that was never registered.
+	ErrUnknownGradient = errors.New("gradsync: unknown gradient")
+)
+
+// Gradient describes one registered gradient tensor.
+type Gradient struct {
+	// ID is the index in the synchronization vector, assigned by Finalize.
+	ID int
+	// Name is the parameter name, unique within a model.
+	Name string
+	// Elems is the number of float32 elements in the gradient tensor.
+	Elems int
+}
+
+// Bytes returns the wire size of the gradient in fp32.
+func (g Gradient) Bytes() int64 { return int64(g.Elems) * 4 }
+
+// Registry assigns stable gradient ids. It is not safe for concurrent use;
+// registration happens single-threaded during model loading.
+type Registry struct {
+	byName    map[string]int // name -> Elems until finalize, then -> ID
+	pending   []Gradient
+	grads     []Gradient
+	finalized bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]int)}
+}
+
+// Register adds a parameter's gradient. Must be called before Finalize.
+func (r *Registry) Register(name string, elems int) error {
+	if r.finalized {
+		return ErrFinalized
+	}
+	if elems <= 0 {
+		return fmt.Errorf("gradsync: parameter %q has %d elements", name, elems)
+	}
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	r.byName[name] = len(r.pending)
+	r.pending = append(r.pending, Gradient{Name: name, Elems: elems})
+	return nil
+}
+
+// Finalize sorts parameters by name, assigns ids, and freezes the registry.
+// It returns the gradients in id order. Calling Finalize twice is an error.
+func (r *Registry) Finalize() ([]Gradient, error) {
+	if r.finalized {
+		return nil, ErrFinalized
+	}
+	r.finalized = true
+	r.grads = make([]Gradient, len(r.pending))
+	copy(r.grads, r.pending)
+	sort.Slice(r.grads, func(i, j int) bool { return r.grads[i].Name < r.grads[j].Name })
+	for i := range r.grads {
+		r.grads[i].ID = i
+		r.byName[r.grads[i].Name] = i
+	}
+	out := make([]Gradient, len(r.grads))
+	copy(out, r.grads)
+	return out, nil
+}
+
+// Count returns the number of registered gradients.
+func (r *Registry) Count() int { return len(r.pending) }
+
+// ByID returns the gradient with the given id.
+func (r *Registry) ByID(id int) (Gradient, error) {
+	if !r.finalized {
+		return Gradient{}, ErrNotFinalized
+	}
+	if id < 0 || id >= len(r.grads) {
+		return Gradient{}, fmt.Errorf("%w: id %d", ErrUnknownGradient, id)
+	}
+	return r.grads[id], nil
+}
+
+// ByName returns the gradient registered under name.
+func (r *Registry) ByName(name string) (Gradient, error) {
+	if !r.finalized {
+		return Gradient{}, ErrNotFinalized
+	}
+	id, ok := r.byName[name]
+	if !ok {
+		return Gradient{}, fmt.Errorf("%w: %q", ErrUnknownGradient, name)
+	}
+	return r.grads[id], nil
+}
+
+// SyncVector is the gradient synchronization bit vector of Fig. 8a: one bit
+// per gradient, set when the gradient is locally ready. It is not safe for
+// concurrent use; the engine serializes access through its event loop.
+type SyncVector struct {
+	bits []uint64
+	n    int
+}
+
+// NewSyncVector returns a vector for n gradients, all bits clear.
+func NewSyncVector(n int) *SyncVector {
+	if n < 0 {
+		n = 0
+	}
+	return &SyncVector{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of gradients tracked.
+func (v *SyncVector) Len() int { return v.n }
+
+// Set marks gradient id as locally ready.
+func (v *SyncVector) Set(id int) error {
+	if id < 0 || id >= v.n {
+		return fmt.Errorf("%w: id %d of %d", ErrUnknownGradient, id, v.n)
+	}
+	v.bits[id/64] |= 1 << (id % 64)
+	return nil
+}
+
+// Ready reports whether bit id is set.
+func (v *SyncVector) Ready(id int) bool {
+	if id < 0 || id >= v.n {
+		return false
+	}
+	return v.bits[id/64]&(1<<(id%64)) != 0
+}
+
+// Reset clears every bit — called before each backward stage (§V-A1).
+func (v *SyncVector) Reset() {
+	for i := range v.bits {
+		v.bits[i] = 0
+	}
+}
+
+// AllSet reports whether every gradient is marked ready.
+func (v *SyncVector) AllSet() bool {
+	for id := 0; id < v.n; id++ {
+		if !v.Ready(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (v *SyncVector) Count() int {
+	total := 0
+	for id := 0; id < v.n; id++ {
+		if v.Ready(id) {
+			total++
+		}
+	}
+	return total
+}
+
+// ReadyIDs returns the ids of all set bits in ascending order.
+func (v *SyncVector) ReadyIDs() []int {
+	out := make([]int, 0, v.n)
+	for id := 0; id < v.n; id++ {
+		if v.Ready(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Words returns a copy of the packed bit words.
+func (v *SyncVector) Words() []uint64 {
+	out := make([]uint64, len(v.bits))
+	copy(out, v.bits)
+	return out
+}
+
+// andWords ANDs src into the vector. Lengths must match.
+func (v *SyncVector) andWords(src []uint64) error {
+	if len(src) != len(v.bits) {
+		return fmt.Errorf("gradsync: word count mismatch %d vs %d", len(src), len(v.bits))
+	}
+	for i := range v.bits {
+		v.bits[i] &= src[i]
+	}
+	return nil
+}
+
+// Coordinator agrees on the globally-ready gradient set. Agree consumes the
+// local vector's current state and returns the set of ids that every worker
+// has marked ready. All workers must call Agree collectively.
+type Coordinator interface {
+	Agree(local *SyncVector) (*SyncVector, error)
+}
+
+// Decentralized is AIACC's coordinator: a ring all-reduce with an AND/min
+// operator on the packed bit vector. Cost is O(vector bytes) per rank per
+// round regardless of world size — no rank is a bottleneck.
+type Decentralized struct {
+	comm   *mpi.Comm
+	stream int
+}
+
+var _ Coordinator = (*Decentralized)(nil)
+
+// NewDecentralized returns a decentralized coordinator communicating on the
+// given stream of comm.
+func NewDecentralized(comm *mpi.Comm, stream int) *Decentralized {
+	return &Decentralized{comm: comm, stream: stream}
+}
+
+// Agree implements Coordinator.
+func (d *Decentralized) Agree(local *SyncVector) (*SyncVector, error) {
+	global := &SyncVector{bits: local.Words(), n: local.n}
+	if err := collective.AndAllReduceBits(d.comm, d.stream, global.bits); err != nil {
+		return nil, fmt.Errorf("decentralized agree: %w", err)
+	}
+	return global, nil
+}
+
+// Master is the Horovod-style coordinator: every worker sends its vector to
+// rank 0, which ANDs all of them and sends the decision back. The master
+// processes O(world size) messages per round — the bottleneck the paper
+// measured beyond ~128 GPUs (§III, §VIII-C).
+type Master struct {
+	comm   *mpi.Comm
+	stream int
+}
+
+var _ Coordinator = (*Master)(nil)
+
+// NewMaster returns a master-based coordinator with rank 0 as master.
+func NewMaster(comm *mpi.Comm, stream int) *Master {
+	return &Master{comm: comm, stream: stream}
+}
+
+// Agree implements Coordinator.
+func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
+	global := &SyncVector{bits: local.Words(), n: local.n}
+	n := m.comm.Size()
+	if n == 1 {
+		return global, nil
+	}
+	if m.comm.Rank() == 0 {
+		// Gather and AND every worker's vector.
+		for from := 1; from < n; from++ {
+			payload, err := m.comm.Recv(from, m.stream)
+			if err != nil {
+				return nil, fmt.Errorf("master gather from %d: %w", from, err)
+			}
+			words, err := decodeWords(payload, len(global.bits))
+			if err != nil {
+				return nil, err
+			}
+			if err := global.andWords(words); err != nil {
+				return nil, err
+			}
+		}
+		decision := encodeWords(global.bits)
+		for to := 1; to < n; to++ {
+			if err := m.comm.Send(to, m.stream, decision); err != nil {
+				return nil, fmt.Errorf("master decide to %d: %w", to, err)
+			}
+		}
+		return global, nil
+	}
+	if err := m.comm.Send(0, m.stream, encodeWords(global.bits)); err != nil {
+		return nil, fmt.Errorf("worker report: %w", err)
+	}
+	payload, err := m.comm.Recv(0, m.stream)
+	if err != nil {
+		return nil, fmt.Errorf("worker decision: %w", err)
+	}
+	words, err := decodeWords(payload, len(global.bits))
+	if err != nil {
+		return nil, err
+	}
+	copy(global.bits, words)
+	return global, nil
+}
+
+func encodeWords(words []uint64) []byte {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return buf
+}
+
+func decodeWords(buf []byte, want int) ([]uint64, error) {
+	if len(buf) != 8*want {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", collective.ErrShortBuffer, len(buf), 8*want)
+	}
+	words := make([]uint64, want)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return words, nil
+}
+
+// Session tracks agreement progress across one training iteration: repeated
+// Update calls return only the *newly* agreed gradients, so each gradient is
+// dispatched to the all-reduce exactly once per iteration.
+type Session struct {
+	coord  Coordinator
+	agreed *SyncVector
+}
+
+// NewSession returns a session over n gradients using the given coordinator.
+func NewSession(coord Coordinator, n int) *Session {
+	return &Session{coord: coord, agreed: NewSyncVector(n)}
+}
+
+// Update performs one collective agreement round on the local vector and
+// returns the ids that became globally ready in this round, ascending.
+func (s *Session) Update(local *SyncVector) ([]int, error) {
+	global, err := s.coord.Agree(local)
+	if err != nil {
+		return nil, err
+	}
+	var fresh []int
+	for _, id := range global.ReadyIDs() {
+		if !s.agreed.Ready(id) {
+			fresh = append(fresh, id)
+			if err := s.agreed.Set(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fresh, nil
+}
+
+// Done reports whether every gradient has been agreed this iteration.
+func (s *Session) Done() bool { return s.agreed.AllSet() }
+
+// AgreedCount returns how many gradients have been agreed this iteration.
+func (s *Session) AgreedCount() int { return s.agreed.Count() }
+
+// Reset clears the agreement state for the next iteration.
+func (s *Session) Reset() { s.agreed.Reset() }

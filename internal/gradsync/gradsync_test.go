@@ -1,0 +1,305 @@
+package gradsync
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"aiacc/mpi"
+	"aiacc/transport"
+)
+
+func TestRegistryAssignsSortedIDs(t *testing.T) {
+	r := NewRegistry()
+	// Register out of order; ids must follow name order.
+	for _, p := range []struct {
+		name  string
+		elems int
+	}{
+		{name: "layer2.weight", elems: 100},
+		{name: "layer1.bias", elems: 10},
+		{name: "layer1.weight", elems: 50},
+	} {
+		if err := r.Register(p.name, p.elems); err != nil {
+			t.Fatalf("Register(%q): %v", p.name, err)
+		}
+	}
+	grads, err := r.Finalize()
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	wantOrder := []string{"layer1.bias", "layer1.weight", "layer2.weight"}
+	for i, w := range wantOrder {
+		if grads[i].Name != w || grads[i].ID != i {
+			t.Errorf("grads[%d] = %+v, want name %q id %d", i, grads[i], w, i)
+		}
+	}
+	g, err := r.ByName("layer1.weight")
+	if err != nil || g.ID != 1 || g.Elems != 50 {
+		t.Errorf("ByName = %+v, %v", g, err)
+	}
+	if g.Bytes() != 200 {
+		t.Errorf("Bytes = %d, want 200", g.Bytes())
+	}
+	g, err = r.ByID(2)
+	if err != nil || g.Name != "layer2.weight" {
+		t.Errorf("ByID(2) = %+v, %v", g, err)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("w", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("w", 4); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate error = %v", err)
+	}
+	if err := r.Register("zero", 0); err == nil {
+		t.Error("zero-element parameter must be rejected")
+	}
+	if _, err := r.ByID(0); !errors.Is(err, ErrNotFinalized) {
+		t.Errorf("pre-finalize ByID error = %v", err)
+	}
+	if _, err := r.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("late", 4); !errors.Is(err, ErrFinalized) {
+		t.Errorf("post-finalize register error = %v", err)
+	}
+	if _, err := r.Finalize(); !errors.Is(err, ErrFinalized) {
+		t.Errorf("double finalize error = %v", err)
+	}
+	if _, err := r.ByID(99); !errors.Is(err, ErrUnknownGradient) {
+		t.Errorf("bad id error = %v", err)
+	}
+	if _, err := r.ByName("nope"); !errors.Is(err, ErrUnknownGradient) {
+		t.Errorf("bad name error = %v", err)
+	}
+}
+
+func TestSyncVector(t *testing.T) {
+	v := NewSyncVector(130) // spans three words
+	if v.Len() != 130 || v.AllSet() {
+		t.Fatal("fresh vector state wrong")
+	}
+	for _, id := range []int{0, 63, 64, 129} {
+		if err := v.Set(id); err != nil {
+			t.Fatalf("Set(%d): %v", id, err)
+		}
+		if !v.Ready(id) {
+			t.Fatalf("bit %d not set", id)
+		}
+	}
+	if v.Count() != 4 {
+		t.Errorf("Count = %d, want 4", v.Count())
+	}
+	ids := v.ReadyIDs()
+	want := []int{0, 63, 64, 129}
+	if len(ids) != len(want) {
+		t.Fatalf("ReadyIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ReadyIDs[%d] = %d, want %d", i, ids[i], want[i])
+		}
+	}
+	if v.Ready(1) || v.Ready(200) || v.Ready(-1) {
+		t.Error("unexpected ready bits")
+	}
+	if err := v.Set(130); !errors.Is(err, ErrUnknownGradient) {
+		t.Errorf("out-of-range Set error = %v", err)
+	}
+	v.Reset()
+	if v.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+	for i := 0; i < 130; i++ {
+		_ = v.Set(i)
+	}
+	if !v.AllSet() {
+		t.Error("AllSet false after setting every bit")
+	}
+}
+
+func TestSyncVectorWordsIsCopy(t *testing.T) {
+	v := NewSyncVector(10)
+	_ = v.Set(3)
+	w := v.Words()
+	w[0] = 0
+	if !v.Ready(3) {
+		t.Error("Words must return a copy")
+	}
+}
+
+// Property: ReadyIDs round-trips Set for arbitrary id subsets.
+func TestQuickSyncVectorRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		v := NewSyncVector(512)
+		seen := map[int]bool{}
+		for _, r := range raw {
+			id := int(r % 512)
+			if v.Set(id) != nil {
+				return false
+			}
+			seen[id] = true
+		}
+		ids := v.ReadyIDs()
+		if len(ids) != len(seen) {
+			return false
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				return false
+			}
+		}
+		return v.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// runCoordinators executes fn per rank with a coordinator built by mk.
+func runCoordinators(t *testing.T, size int, mk func(c *mpi.Comm) Coordinator, fn func(rank int, coord Coordinator) error) {
+	t.Helper()
+	net, err := transport.NewMem(size, 1)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatalf("Endpoint: %v", err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			if err := fn(r, mk(mpi.NewWorld(ep))); err != nil {
+				errc <- err
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func coordinatorMakers() map[string]func(c *mpi.Comm) Coordinator {
+	return map[string]func(c *mpi.Comm) Coordinator{
+		"decentralized": func(c *mpi.Comm) Coordinator { return NewDecentralized(c, 0) },
+		"master":        func(c *mpi.Comm) Coordinator { return NewMaster(c, 0) },
+	}
+}
+
+// Both coordinators must agree exactly on the intersection of local sets.
+func TestCoordinatorsAgreeOnIntersection(t *testing.T) {
+	for name, mk := range coordinatorMakers() {
+		t.Run(name, func(t *testing.T) {
+			const size, grads = 4, 100
+			runCoordinators(t, size, mk, func(rank int, coord Coordinator) error {
+				local := NewSyncVector(grads)
+				// Rank r marks all gradients except those ≡ r (mod size),
+				// plus gradient 0 on every rank.
+				for g := 0; g < grads; g++ {
+					if g == 0 || g%size != rank {
+						if err := local.Set(g); err != nil {
+							return err
+						}
+					}
+				}
+				global, err := coord.Agree(local)
+				if err != nil {
+					return err
+				}
+				for g := 0; g < grads; g++ {
+					want := g == 0
+					if global.Ready(g) != want {
+						t.Errorf("%s rank %d: gradient %d ready = %v, want %v",
+							name, rank, g, global.Ready(g), want)
+						return nil
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestCoordinatorSingleRank(t *testing.T) {
+	for name, mk := range coordinatorMakers() {
+		t.Run(name, func(t *testing.T) {
+			runCoordinators(t, 1, mk, func(rank int, coord Coordinator) error {
+				local := NewSyncVector(10)
+				_ = local.Set(3)
+				global, err := coord.Agree(local)
+				if err != nil {
+					return err
+				}
+				if !global.Ready(3) || global.Count() != 1 {
+					t.Error("single-rank agreement must equal local state")
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// Session must report each gradient exactly once across multiple rounds, in
+// deterministic order, and Done only after all gradients agreed.
+func TestSessionIncrementalAgreement(t *testing.T) {
+	for name, mk := range coordinatorMakers() {
+		t.Run(name, func(t *testing.T) {
+			const size, grads = 3, 16
+			runCoordinators(t, size, mk, func(rank int, coord Coordinator) error {
+				sess := NewSession(coord, grads)
+				local := NewSyncVector(grads)
+				var got []int
+				// Gradients become ready in waves; later ranks lag by one
+				// wave to exercise partial agreement.
+				for wave := 0; wave < 4+size; wave++ {
+					lo := (wave - rank) * 4
+					for g := lo; g < lo+4; g++ {
+						if g >= 0 && g < grads {
+							if err := local.Set(g); err != nil {
+								return err
+							}
+						}
+					}
+					fresh, err := sess.Update(local)
+					if err != nil {
+						return err
+					}
+					got = append(got, fresh...)
+				}
+				if !sess.Done() {
+					t.Errorf("%s rank %d: session not done, agreed %d", name, rank, sess.AgreedCount())
+					return nil
+				}
+				if len(got) != grads {
+					t.Errorf("%s rank %d: %d gradients reported, want %d", name, rank, len(got), grads)
+					return nil
+				}
+				seen := map[int]bool{}
+				for _, id := range got {
+					if seen[id] {
+						t.Errorf("%s rank %d: gradient %d reported twice", name, rank, id)
+						return nil
+					}
+					seen[id] = true
+				}
+				sess.Reset()
+				if sess.Done() || sess.AgreedCount() != 0 {
+					t.Errorf("%s rank %d: Reset did not clear session", name, rank)
+				}
+				return nil
+			})
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Package packing forms all-reduce units from ready gradients (§V-B).
+//
+// The optimal communication granularity depends on the network: too small
+// and per-message latency dominates; too large and the unit cannot start
+// until late gradients arrive, losing overlap. AIACC-Training therefore
+// packs multiple small gradient tensors into one unit and splits large
+// tensors across several units, targeting a granularity chosen by the
+// auto-tuner.
+//
+// Units are formed deterministically from the agreed gradient ids in
+// ascending order, so all workers derive identical unit layouts without
+// further communication — the "implicit agreement on communication order"
+// the paper relies on.
+package packing
+
+import (
+	"errors"
+	"fmt"
+
+	"aiacc/internal/gradsync"
+)
+
+// ErrBadGranularity indicates a non-positive granularity.
+var ErrBadGranularity = errors.New("packing: granularity must be positive")
+
+// ErrFragmentRange indicates a fragment that does not fit its gradient or
+// its unit buffer.
+var ErrFragmentRange = errors.New("packing: fragment out of range")
+
+// Fragment is a contiguous span of one gradient tensor placed inside a unit.
+type Fragment struct {
+	// GradID is the gradient's registry id.
+	GradID int
+	// Offset is the element offset within the gradient tensor.
+	Offset int
+	// Elems is the span length in elements.
+	Elems int
+}
+
+// Unit is one all-reduce unit: an ordered pack of fragments reduced together
+// in a single collective operation.
+type Unit struct {
+	// Seq is the deterministic sequence number of the unit within the
+	// iteration; all workers assign identical Seq values, which implicitly
+	// fixes the communication order and stream assignment.
+	Seq int
+	// Fragments lists the gradient spans in buffer order.
+	Fragments []Fragment
+	// Elems is the total element count (= sum of fragment lengths).
+	Elems int
+}
+
+// Bytes returns the unit's wire size in fp32.
+func (u Unit) Bytes() int64 { return int64(u.Elems) * 4 }
+
+// Packer splits/merges gradients into units of a target granularity.
+type Packer struct {
+	granularity int // elements per unit
+}
+
+// NewPacker returns a packer with the given granularity in *bytes* (the
+// auto-tuner's natural parameter); internally it packs fp32 elements.
+func NewPacker(granularityBytes int64) (*Packer, error) {
+	if granularityBytes < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadGranularity, granularityBytes)
+	}
+	return &Packer{granularity: int(granularityBytes / 4)}, nil
+}
+
+// Granularity returns the unit size in elements.
+func (p *Packer) Granularity() int { return p.granularity }
+
+// Pack forms units from the given gradients (must be indexable by the ids in
+// readyIDs) in ascending id order, numbering them startSeq, startSeq+1, ….
+// Every returned unit has at most granularity elements; a gradient larger
+// than the granularity is split across consecutive units.
+func (p *Packer) Pack(byID func(id int) (gradsync.Gradient, error), readyIDs []int, startSeq int) ([]Unit, error) {
+	var units []Unit
+	cur := Unit{Seq: startSeq}
+	flush := func() {
+		if cur.Elems > 0 {
+			units = append(units, cur)
+			cur = Unit{Seq: startSeq + len(units)}
+		}
+	}
+	for _, id := range readyIDs {
+		g, err := byID(id)
+		if err != nil {
+			return nil, fmt.Errorf("pack gradient %d: %w", id, err)
+		}
+		// A gradient that fits within one unit is never split: if it does
+		// not fit the current unit's remaining room, the unit is flushed
+		// and the gradient starts the next one. Only gradients larger than
+		// the granularity are broken into multiple units.
+		if g.Elems <= p.granularity && cur.Elems+g.Elems > p.granularity {
+			flush()
+		}
+		remaining := g.Elems
+		offset := 0
+		for remaining > 0 {
+			room := p.granularity - cur.Elems
+			if room == 0 {
+				flush()
+				room = p.granularity
+			}
+			span := remaining
+			if span > room {
+				span = room
+			}
+			cur.Fragments = append(cur.Fragments, Fragment{GradID: id, Offset: offset, Elems: span})
+			cur.Elems += span
+			offset += span
+			remaining -= span
+		}
+	}
+	flush()
+	return units, nil
+}
+
+// Gather copies the unit's fragments out of the gradient tensors into buf,
+// which must have exactly u.Elems elements. lookup returns the flat storage
+// of a gradient tensor by id.
+func Gather(u Unit, lookup func(id int) ([]float32, error), buf []float32) error {
+	if len(buf) != u.Elems {
+		return fmt.Errorf("%w: buffer %d elements, unit %d", ErrFragmentRange, len(buf), u.Elems)
+	}
+	pos := 0
+	for _, f := range u.Fragments {
+		src, err := lookup(f.GradID)
+		if err != nil {
+			return fmt.Errorf("gather gradient %d: %w", f.GradID, err)
+		}
+		if f.Offset < 0 || f.Offset+f.Elems > len(src) {
+			return fmt.Errorf("%w: gradient %d span [%d,%d) of %d",
+				ErrFragmentRange, f.GradID, f.Offset, f.Offset+f.Elems, len(src))
+		}
+		copy(buf[pos:pos+f.Elems], src[f.Offset:f.Offset+f.Elems])
+		pos += f.Elems
+	}
+	return nil
+}
+
+// Scatter copies the reduced unit buffer back into the gradient tensors —
+// the unpack/regroup step after the all-reduce completes.
+func Scatter(u Unit, lookup func(id int) ([]float32, error), buf []float32) error {
+	if len(buf) != u.Elems {
+		return fmt.Errorf("%w: buffer %d elements, unit %d", ErrFragmentRange, len(buf), u.Elems)
+	}
+	pos := 0
+	for _, f := range u.Fragments {
+		dst, err := lookup(f.GradID)
+		if err != nil {
+			return fmt.Errorf("scatter gradient %d: %w", f.GradID, err)
+		}
+		if f.Offset < 0 || f.Offset+f.Elems > len(dst) {
+			return fmt.Errorf("%w: gradient %d span [%d,%d) of %d",
+				ErrFragmentRange, f.GradID, f.Offset, f.Offset+f.Elems, len(dst))
+		}
+		copy(dst[f.Offset:f.Offset+f.Elems], buf[pos:pos+f.Elems])
+		pos += f.Elems
+	}
+	return nil
+}
+
+// FragmentsPerGradient returns how many fragments each gradient id
+// contributes across the units — used by completion tracking to know when a
+// gradient is fully reduced.
+func FragmentsPerGradient(units []Unit) map[int]int {
+	out := make(map[int]int)
+	for _, u := range units {
+		for _, f := range u.Fragments {
+			out[f.GradID]++
+		}
+	}
+	return out
+}

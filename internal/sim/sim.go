@@ -1,0 +1,112 @@
+// Package sim is a deterministic discrete-event simulation kernel with a
+// virtual clock. The cluster simulator (package cluster) uses it to replay
+// the paper's 256-GPU experiments in milliseconds of wall time: events are
+// closures scheduled at virtual instants; Run executes them in time order
+// (ties broken by scheduling order, making runs fully reproducible).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrPastEvent indicates an event scheduled before the current virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns a virtual clock and an event queue. It is not safe for
+// concurrent use: all events execute on the caller's goroutine inside Run.
+type Simulator struct {
+	now    time.Duration
+	queue  eventHeap
+	seq    int64
+	events int64
+}
+
+// New returns a simulator at virtual time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() int64 { return s.events }
+
+// At schedules fn at absolute virtual time t.
+func (s *Simulator) At(t time.Duration, fn func()) error {
+	if t < s.now {
+		return ErrPastEvent
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn d after the current virtual time. Negative delays are
+// clamped to zero.
+func (s *Simulator) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	// The delay is relative to now, so it can never land in the past.
+	_ = s.At(s.now+d, fn)
+}
+
+// Run executes events in time order until the queue is empty and returns the
+// number executed. Event handlers may schedule further events.
+func (s *Simulator) Run() int64 {
+	start := s.events
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	return s.events - start
+}
+
+// RunUntil executes events with timestamps <= deadline and advances the
+// clock to the deadline. Remaining events stay queued.
+func (s *Simulator) RunUntil(deadline time.Duration) int64 {
+	start := s.events
+	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.events - start
+}
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return s.queue.Len() }

@@ -1,0 +1,99 @@
+// Package stats provides the small statistical helpers used by the
+// benchmark harness and performance reporting: geometric means (the paper
+// reports geomean over 5 runs, §VII-D), scaling efficiency, and compact
+// human-readable formatting.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty indicates a statistic of an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// GeoMean returns the geometric mean; all values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: non-positive value %v in geomean", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(len(xs))), nil
+}
+
+// ScalingEfficiency is the paper's §III definition: measured N-worker
+// throughput divided by N times the single-worker throughput.
+func ScalingEfficiency(singleTput, multiTput float64, n int) float64 {
+	if singleTput <= 0 || n <= 0 {
+		return 0
+	}
+	return multiTput / (float64(n) * singleTput)
+}
+
+// Speedup returns b's gain over a (a is the baseline).
+func Speedup(baseline, improved float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return improved / baseline
+}
+
+// FormatCount renders large sample counts compactly (e.g. "12.3k", "4.5M").
+func FormatCount(v float64) string {
+	switch {
+	case math.Abs(v) >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case math.Abs(v) >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// FormatBytes renders a byte count in binary units.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Errorf("Mean = %v, %v", got, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty mean error = %v", err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 100})
+	if err != nil || math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, %v", got, err)
+	}
+	got, err = GeoMean([]float64{5, 5, 5})
+	if err != nil || math.Abs(got-5) > 1e-9 {
+		t.Errorf("constant GeoMean = %v", got)
+	}
+	if _, err := GeoMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty geomean error = %v", err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("non-positive geomean must fail")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, %v", got, err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty stddev error = %v", err)
+	}
+}
+
+func TestScalingEfficiency(t *testing.T) {
+	if got := ScalingEfficiency(100, 3200, 32); got != 1 {
+		t.Errorf("perfect scaling = %v", got)
+	}
+	if got := ScalingEfficiency(100, 2400, 32); got != 0.75 {
+		t.Errorf("75%% scaling = %v", got)
+	}
+	if ScalingEfficiency(0, 100, 4) != 0 || ScalingEfficiency(100, 100, 0) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(100, 330) != 3.3 {
+		t.Error("speedup wrong")
+	}
+	if Speedup(0, 5) != 0 {
+		t.Error("zero baseline must give 0")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{in: 12, want: "12.0"},
+		{in: 12345, want: "12.3k"},
+		{in: 4.5e6, want: "4.5M"},
+		{in: 2.1e9, want: "2.1G"},
+	}
+	for _, tt := range tests {
+		if got := FormatCount(tt.in); got != tt.want {
+			t.Errorf("FormatCount(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{in: 512, want: "512B"},
+		{in: 8 << 10, want: "8.0KiB"},
+		{in: 25 << 20, want: "25.0MiB"},
+		{in: 3 << 30, want: "3.0GiB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.in); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: geomean of positive values lies between min and max.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := math.Abs(r)
+			if x == 0 || math.IsInf(x, 0) || math.IsNaN(x) || x > 1e100 || x < 1e-100 {
+				continue
+			}
+			xs = append(xs, x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package translate implements AIACC-Training's source-to-source translator
+// (§IV "Programming interface"): it converts user training scripts to the
+// Perseus API with zero manual refactoring.
+//
+// Two conversions are supported, mirroring the paper:
+//
+//   - Horovod programs: the import is rewritten from horovod to perseus —
+//     the "changing one line of code" port, automated.
+//   - Sequential (single-GPU) programs: distributed-training boilerplate is
+//     injected — initialize Perseus, scale the learning rate by the world
+//     size, wrap the optimizer with DistributedOptimizer, broadcast the
+//     initial parameters, and guard checkpoint writes to rank 0.
+//
+// The translator is line-based and conservative: scripts it does not
+// understand are returned unchanged with Mode Unrecognized rather than
+// mangled.
+package translate
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Mode classifies what the translator did.
+type Mode int
+
+// Translation modes.
+const (
+	// HorovodPort rewrote a Horovod program's imports to Perseus.
+	HorovodPort Mode = iota + 1
+	// SequentialConvert injected DDL boilerplate into a sequential script.
+	SequentialConvert
+	// AlreadyPerseus left a script that already uses Perseus untouched.
+	AlreadyPerseus
+	// Unrecognized left a script without imports untouched.
+	Unrecognized
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case HorovodPort:
+		return "horovod-port"
+	case SequentialConvert:
+		return "sequential-convert"
+	case AlreadyPerseus:
+		return "already-perseus"
+	case Unrecognized:
+		return "unrecognized"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Change records one edit.
+type Change struct {
+	// Line is the 1-based line number in the *output* script.
+	Line int
+	// Kind is a short edit category.
+	Kind string
+	// Detail describes the edit.
+	Detail string
+}
+
+// Result is a completed translation.
+type Result struct {
+	// Source is the translated script.
+	Source string
+	// Mode is the conversion performed.
+	Mode Mode
+	// Changes lists the edits.
+	Changes []Change
+}
+
+var (
+	importRe    = regexp.MustCompile(`^\s*(import|from)\s+\S+`)
+	horovodRe   = regexp.MustCompile(`\bhorovod\b`)
+	optimizerRe = regexp.MustCompile(`^(\s*)(\w+)\s*=\s*\S*(optim\.|Optimizer\()`)
+	lrRe        = regexp.MustCompile(`\b(lr\s*=\s*[0-9][0-9_.eE+-]*)`)
+	modelRe     = regexp.MustCompile(`^\s*(\w+)\s*=\s*\S*(Model|Net|resnet|vgg|bert|transformer)`)
+	saveRe      = regexp.MustCompile(`^(\s*)((\w+\.)?save\()`)
+)
+
+// Translate converts one training script.
+func Translate(src string) Result {
+	switch {
+	case strings.Contains(src, "perseus"):
+		return Result{Source: src, Mode: AlreadyPerseus}
+	case horovodRe.MatchString(src):
+		return portHorovod(src)
+	default:
+		return convertSequential(src)
+	}
+}
+
+// portHorovod swaps every horovod import/reference to perseus. Because the
+// Perseus API is Horovod-compatible (§IV), the alias (`as hvd`) keeps the
+// rest of the program working untouched.
+func portHorovod(src string) Result {
+	lines := strings.Split(src, "\n")
+	res := Result{Mode: HorovodPort}
+	for i, line := range lines {
+		if horovodRe.MatchString(line) && importRe.MatchString(line) {
+			lines[i] = horovodRe.ReplaceAllString(line, "perseus")
+			res.Changes = append(res.Changes, Change{
+				Line: i + 1, Kind: "import",
+				Detail: "horovod import replaced with perseus",
+			})
+		}
+	}
+	res.Source = strings.Join(lines, "\n")
+	return res
+}
+
+// convertSequential injects distributed-training boilerplate.
+func convertSequential(src string) Result {
+	lines := strings.Split(src, "\n")
+	lastImport := -1
+	for i, line := range lines {
+		if importRe.MatchString(line) {
+			lastImport = i
+		}
+	}
+	if lastImport < 0 {
+		return Result{Source: src, Mode: Unrecognized}
+	}
+
+	res := Result{Mode: SequentialConvert}
+	var out []string
+	emit := func(line string) { out = append(out, line) }
+	note := func(kind, detail string) {
+		res.Changes = append(res.Changes, Change{Line: len(out), Kind: kind, Detail: detail})
+	}
+
+	var modelVar, optVar string
+	wrappedOpt := false
+	broadcasted := false
+	for i, line := range lines {
+		switch {
+		case i == lastImport:
+			emit(line)
+			emit("import perseus.torch as pvs")
+			note("import", "perseus import injected")
+			emit("pvs.init()")
+			note("init", "distributed runtime initialization injected")
+			continue
+		case saveRe.MatchString(line):
+			m := saveRe.FindStringSubmatch(line)
+			emit(m[1] + "if pvs.rank() == 0:")
+			note("guard", "checkpoint write guarded to rank 0")
+			emit(m[1] + "    " + strings.TrimLeft(line, " \t"))
+			continue
+		}
+		if m := modelRe.FindStringSubmatch(line); m != nil && modelVar == "" {
+			modelVar = m[1]
+		}
+		if m := optimizerRe.FindStringSubmatch(line); m != nil && !wrappedOpt {
+			indent, name := m[1], m[2]
+			optVar = name
+			edited := line
+			if lr := lrRe.FindStringSubmatch(line); lr != nil {
+				edited = lrRe.ReplaceAllString(line, lr[1]+" * pvs.size()")
+				note("lr-scale", "learning rate scaled by world size")
+			}
+			emit(edited)
+			emit(fmt.Sprintf("%s%s = pvs.DistributedOptimizer(%s)", indent, name, name))
+			note("optimizer", "optimizer wrapped with pvs.DistributedOptimizer")
+			if modelVar != "" && !broadcasted {
+				emit(fmt.Sprintf("%spvs.broadcast_parameters(%s.state_dict(), root_rank=0)", indent, modelVar))
+				note("broadcast", "initial parameters broadcast from rank 0")
+				broadcasted = true
+			}
+			wrappedOpt = true
+			continue
+		}
+		emit(line)
+	}
+	_ = optVar
+	res.Source = strings.Join(out, "\n")
+	return res
+}

@@ -1,0 +1,128 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+)
+
+const horovodScript = `import torch
+import horovod.torch as hvd
+
+hvd.init()
+model = torchvision.models.resnet50()
+optimizer = torch.optim.SGD(model.parameters(), lr=0.1 * hvd.size())
+optimizer = hvd.DistributedOptimizer(optimizer)
+`
+
+const sequentialScript = `import torch
+import torchvision
+
+model = torchvision.models.resnet50()
+optimizer = torch.optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+for epoch in range(90):
+    train(model, optimizer)
+    torch.save(model.state_dict(), "ckpt.pt")
+`
+
+func TestHorovodPortOneLine(t *testing.T) {
+	res := Translate(horovodScript)
+	if res.Mode != HorovodPort {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	if !strings.Contains(res.Source, "import perseus.torch as hvd") {
+		t.Error("import not rewritten to perseus")
+	}
+	if strings.Contains(res.Source, "import horovod") {
+		t.Error("horovod import survived")
+	}
+	// The rest of the program (hvd.* calls) must be untouched.
+	if !strings.Contains(res.Source, "hvd.DistributedOptimizer(optimizer)") {
+		t.Error("API calls must remain unchanged")
+	}
+	if len(res.Changes) != 1 || res.Changes[0].Kind != "import" {
+		t.Errorf("changes = %+v, want exactly the one-line import swap", res.Changes)
+	}
+}
+
+func TestSequentialConversionInjectsBoilerplate(t *testing.T) {
+	res := Translate(sequentialScript)
+	if res.Mode != SequentialConvert {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	src := res.Source
+	for _, want := range []string{
+		"import perseus.torch as pvs",
+		"pvs.init()",
+		"lr=0.1 * pvs.size()",
+		"optimizer = pvs.DistributedOptimizer(optimizer)",
+		"pvs.broadcast_parameters(model.state_dict(), root_rank=0)",
+		"if pvs.rank() == 0:",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in translated script:\n%s", want, src)
+		}
+	}
+	// The save call is now guarded and indented under the rank check.
+	if !strings.Contains(src, "if pvs.rank() == 0:\n        torch.save(") {
+		t.Errorf("save not guarded with indentation:\n%s", src)
+	}
+	kinds := map[string]bool{}
+	for _, c := range res.Changes {
+		kinds[c.Kind] = true
+	}
+	for _, k := range []string{"import", "init", "lr-scale", "optimizer", "broadcast", "guard"} {
+		if !kinds[k] {
+			t.Errorf("missing change kind %q: %+v", k, res.Changes)
+		}
+	}
+}
+
+func TestAlreadyPerseusUntouched(t *testing.T) {
+	src := "import perseus.torch as hvd\nhvd.init()\n"
+	res := Translate(src)
+	if res.Mode != AlreadyPerseus || res.Source != src || len(res.Changes) != 0 {
+		t.Errorf("perseus script modified: %+v", res)
+	}
+}
+
+func TestUnrecognizedUntouched(t *testing.T) {
+	src := "print('hello')\n"
+	res := Translate(src)
+	if res.Mode != Unrecognized || res.Source != src {
+		t.Errorf("script without imports modified: %+v", res)
+	}
+}
+
+func TestSequentialIdempotence(t *testing.T) {
+	once := Translate(sequentialScript)
+	twice := Translate(once.Source)
+	if twice.Mode != AlreadyPerseus {
+		t.Errorf("second translation mode = %v, want AlreadyPerseus", twice.Mode)
+	}
+	if twice.Source != once.Source {
+		t.Error("translation must be idempotent")
+	}
+}
+
+func TestLROnlyScaledInOptimizerLine(t *testing.T) {
+	src := "import torch\nlr=5\nmodel = Net()\nopt = torch.optim.Adam(model.parameters(), lr=0.001)\n"
+	res := Translate(src)
+	if !strings.Contains(res.Source, "lr=0.001 * pvs.size()") {
+		t.Errorf("optimizer lr not scaled:\n%s", res.Source)
+	}
+	if !strings.Contains(res.Source, "\nlr=5\n") {
+		t.Errorf("unrelated lr assignment modified:\n%s", res.Source)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if HorovodPort.String() != "horovod-port" ||
+		SequentialConvert.String() != "sequential-convert" ||
+		AlreadyPerseus.String() != "already-perseus" ||
+		Unrecognized.String() != "unrecognized" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,255 @@
+// Package model defines the DNN workloads of the paper's evaluation
+// (Table I): VGG-16, ResNet-50, ResNet-101, Transformer, BERT-Large, plus
+// the further-analysis models GPT-2 XL and a synthetic production-style CTR
+// recommender. A Model is a layer table with per-layer parameter tensors and
+// forward FLOP counts; from it the simulator derives the gradient production
+// schedule of the backward pass, and the live engine derives parameter
+// registration.
+//
+// Parameter counts are computed from the real architectures. FLOPs are
+// counted as multiply-accumulate pairs ×2 (one multiply + one add each).
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownModel indicates a name with no registered constructor.
+var ErrUnknownModel = errors.New("model: unknown model")
+
+// Family classifies a workload domain.
+type Family int
+
+// Workload families.
+const (
+	CV Family = iota + 1
+	NLP
+	Recommendation
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case CV:
+		return "cv"
+	case NLP:
+		return "nlp"
+	case Recommendation:
+		return "recommendation"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ParamSpec describes one parameter tensor of a layer.
+type ParamSpec struct {
+	// Name is the tensor name, unique within the model once prefixed with
+	// the layer name.
+	Name string
+	// Shape is the logical tensor shape.
+	Shape []int
+}
+
+// Elems returns the element count.
+func (p ParamSpec) Elems() int {
+	n := 1
+	for _, d := range p.Shape {
+		n *= d
+	}
+	if len(p.Shape) == 0 {
+		return 0
+	}
+	return n
+}
+
+// Layer is one network layer in forward order.
+type Layer struct {
+	// Name is the layer name, unique within the model.
+	Name string
+	// Params lists the layer's parameter tensors (possibly none, e.g.
+	// pooling layers).
+	Params []ParamSpec
+	// FwdFLOPs is the forward cost per sample in FLOPs.
+	FwdFLOPs int64
+}
+
+// Model is a DNN workload description.
+type Model struct {
+	// Name identifies the model (e.g. "resnet50").
+	Name string
+	// Family is the workload domain.
+	Family Family
+	// Layers lists the layers in forward order.
+	Layers []Layer
+	// DefaultBatch is the per-GPU minibatch used by the paper's evaluation.
+	DefaultBatch int
+	// SamplesName is what a "sample" is for throughput reporting (images,
+	// tokens, records).
+	SamplesName string
+	// SpeedFactor scales the GPU's effective FLOPS for this workload:
+	// architectures dominated by large dense GEMMs (VGG's fc layers, GPT's
+	// projections) run closer to peak than bandwidth-bound ones (embedding
+	// lookups). 0 means 1.0.
+	SpeedFactor float64
+}
+
+// EffectiveSpeedFactor returns SpeedFactor with the zero value defaulted
+// to 1.
+func (m Model) EffectiveSpeedFactor() float64 {
+	if m.SpeedFactor <= 0 {
+		return 1
+	}
+	return m.SpeedFactor
+}
+
+// NumParams returns the total parameter count.
+func (m Model) NumParams() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		for _, p := range l.Params {
+			total += int64(p.Elems())
+		}
+	}
+	return total
+}
+
+// FwdFLOPs returns the total forward cost per sample.
+func (m Model) FwdFLOPs() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.FwdFLOPs
+	}
+	return total
+}
+
+// BackwardFLOPs returns the backward cost per sample, modelled as twice the
+// forward cost (gradient w.r.t. activations plus gradient w.r.t. weights).
+func (m Model) BackwardFLOPs() int64 { return 2 * m.FwdFLOPs() }
+
+// GradBytes returns the per-iteration gradient volume in fp32 bytes —
+// the data each worker must all-reduce every step.
+func (m Model) GradBytes() int64 { return m.NumParams() * 4 }
+
+// FlatParam is a parameter tensor with its model-unique name and the index
+// of its owning layer.
+type FlatParam struct {
+	// Name is "<layer>.<param>".
+	Name string
+	// Layer is the index into Layers.
+	Layer int
+	// Elems is the tensor element count.
+	Elems int
+}
+
+// Params flattens the per-layer parameters into registration order (forward
+// layer order, declaration order within a layer).
+func (m Model) Params() []FlatParam {
+	var out []FlatParam
+	for li, l := range m.Layers {
+		for _, p := range l.Params {
+			out = append(out, FlatParam{
+				Name:  l.Name + "." + p.Name,
+				Layer: li,
+				Elems: p.Elems(),
+			})
+		}
+	}
+	return out
+}
+
+// NumGradients returns the number of gradient tensors produced per backward
+// pass — the length of the gradient synchronization vector.
+func (m Model) NumGradients() int { return len(m.Params()) }
+
+// GradEvent marks the production of one gradient during backward
+// propagation.
+type GradEvent struct {
+	// Param is the index into Params().
+	Param int
+	// Frac is the fraction of the backward pass elapsed when this gradient
+	// becomes available, in (0, 1].
+	Frac float64
+}
+
+// BackwardSchedule returns the gradient production order of the backward
+// pass: layers complete in reverse forward order, each layer's backward cost
+// proportional to its forward FLOPs, and a layer's gradients appear when its
+// backward step finishes. Zero-FLOP layers are given a small epsilon cost so
+// every gradient has a strictly positive production time.
+func (m Model) BackwardSchedule() []GradEvent {
+	params := m.Params()
+	// Cost per layer.
+	costs := make([]float64, len(m.Layers))
+	var total float64
+	for i, l := range m.Layers {
+		c := float64(l.FwdFLOPs)
+		if c <= 0 {
+			c = 1
+		}
+		costs[i] = c
+		total += c
+	}
+	// Cumulative fraction when layer li's backward completes (reverse
+	// order).
+	frac := make([]float64, len(m.Layers))
+	acc := 0.0
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		acc += costs[li]
+		frac[li] = acc / total
+	}
+	events := make([]GradEvent, 0, len(params))
+	for pi := len(params) - 1; pi >= 0; pi-- {
+		events = append(events, GradEvent{Param: pi, Frac: frac[params[pi].Layer]})
+	}
+	return events
+}
+
+// Validate checks structural invariants: unique layer and parameter names
+// and non-negative FLOPs.
+func (m Model) Validate() error {
+	if m.Name == "" {
+		return errors.New("model: empty name")
+	}
+	layerNames := make(map[string]bool, len(m.Layers))
+	paramNames := make(map[string]bool)
+	for _, l := range m.Layers {
+		if layerNames[l.Name] {
+			return fmt.Errorf("model %s: duplicate layer %q", m.Name, l.Name)
+		}
+		layerNames[l.Name] = true
+		if l.FwdFLOPs < 0 {
+			return fmt.Errorf("model %s: layer %q negative FLOPs", m.Name, l.Name)
+		}
+		for _, p := range l.Params {
+			full := l.Name + "." + p.Name
+			if paramNames[full] {
+				return fmt.Errorf("model %s: duplicate parameter %q", m.Name, full)
+			}
+			paramNames[full] = true
+			if p.Elems() <= 0 {
+				return fmt.Errorf("model %s: parameter %q has no elements", m.Name, full)
+			}
+		}
+	}
+	return nil
+}
+
+// ByName returns the model registered under name.
+func ByName(name string) (Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+}
+
+// All returns every model in the zoo, evaluation models first.
+func All() []Model {
+	return []Model{
+		VGG16(), ResNet50(), ResNet101(),
+		TransformerBase(), BERTLarge(),
+		GPT2XL(), CTR(), InsightFace(), TinyMLP(),
+	}
+}

@@ -1,0 +1,172 @@
+// Package mpi provides a minimal MPI-like process runtime on top of the
+// transport layer. AIACC-Training runs one MPI process per GPU worker
+// (paper Fig. 4); here a Comm plays that role: it gives each worker a rank, a
+// world size, point-to-point messaging, sub-communicators (e.g. the per-node
+// groups used by the hierarchical all-reduce) and a barrier.
+//
+// Matching semantics follow classic MPI with a single implicit tag per
+// stream: messages between a fixed (peer, stream) pair match in FIFO order.
+// Collectives built on top issue sends and receives in deterministic
+// lockstep on all ranks, which is all FIFO matching requires.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aiacc/transport"
+)
+
+// Common errors.
+var (
+	// ErrNotMember indicates the calling rank is not part of the requested
+	// group.
+	ErrNotMember = errors.New("mpi: rank not in group")
+	// ErrBadGroup indicates an invalid group specification.
+	ErrBadGroup = errors.New("mpi: bad group")
+)
+
+// Comm is a communicator: an ordered group of ranks that can exchange
+// point-to-point messages. Rank numbers used with Send/Recv are
+// communicator-relative; the communicator translates them to global
+// transport ranks.
+type Comm struct {
+	ep    transport.Endpoint
+	group []int // global rank of each member, ascending
+	rank  int   // my index in group
+}
+
+// NewWorld returns the world communicator containing every rank of the
+// endpoint's network.
+func NewWorld(ep transport.Endpoint) *Comm {
+	group := make([]int, ep.Size())
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{ep: ep, group: group, rank: ep.Rank()}
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of members.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Streams returns the number of independent communication streams.
+func (c *Comm) Streams() int { return c.ep.Streams() }
+
+// GlobalRank returns the network-global rank of communicator member r.
+func (c *Comm) GlobalRank(r int) (int, error) {
+	if r < 0 || r >= len(c.group) {
+		return 0, fmt.Errorf("%w: rank %d of %d", ErrBadGroup, r, len(c.group))
+	}
+	return c.group[r], nil
+}
+
+// Send delivers data to communicator member `to` on the given stream.
+func (c *Comm) Send(to, stream int, data []byte) error {
+	g, err := c.GlobalRank(to)
+	if err != nil {
+		return err
+	}
+	return c.ep.Send(g, stream, data)
+}
+
+// Recv blocks until a message from communicator member `from` arrives on the
+// given stream.
+func (c *Comm) Recv(from, stream int) ([]byte, error) {
+	g, err := c.GlobalRank(from)
+	if err != nil {
+		return nil, err
+	}
+	return c.ep.Recv(g, stream)
+}
+
+// Subgroup derives a communicator over the given global ranks. Every member
+// of the subgroup must call Subgroup with the same set; the caller must be a
+// member. Duplicates are rejected; ordering is normalized ascending so that
+// all members agree on relative ranks.
+func (c *Comm) Subgroup(globalRanks []int) (*Comm, error) {
+	if len(globalRanks) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadGroup)
+	}
+	group := make([]int, len(globalRanks))
+	copy(group, globalRanks)
+	sort.Ints(group)
+	myGlobal := c.group[c.rank]
+	me := -1
+	for i, g := range group {
+		if i > 0 && group[i-1] == g {
+			return nil, fmt.Errorf("%w: duplicate rank %d", ErrBadGroup, g)
+		}
+		if g < 0 || g >= c.ep.Size() {
+			return nil, fmt.Errorf("%w: rank %d out of range", ErrBadGroup, g)
+		}
+		if g == myGlobal {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("%w: rank %d not in %v", ErrNotMember, myGlobal, group)
+	}
+	return &Comm{ep: c.ep, group: group, rank: me}, nil
+}
+
+// NodeGroup derives the sub-communicator of ranks sharing the caller's
+// computing node, assuming gpusPerNode consecutive global ranks per node.
+// Used by the hierarchical (tree) all-reduce.
+func (c *Comm) NodeGroup(gpusPerNode int) (*Comm, error) {
+	if gpusPerNode <= 0 {
+		return nil, fmt.Errorf("%w: gpusPerNode %d", ErrBadGroup, gpusPerNode)
+	}
+	myGlobal := c.group[c.rank]
+	node := myGlobal / gpusPerNode
+	lo := node * gpusPerNode
+	hi := lo + gpusPerNode
+	if hi > c.ep.Size() {
+		hi = c.ep.Size()
+	}
+	ranks := make([]int, 0, hi-lo)
+	for g := lo; g < hi; g++ {
+		ranks = append(ranks, g)
+	}
+	return c.Subgroup(ranks)
+}
+
+// LeaderGroup derives the sub-communicator of node leaders (the first rank
+// of each node), assuming gpusPerNode consecutive global ranks per node.
+// Returns ErrNotMember for non-leader callers.
+func (c *Comm) LeaderGroup(gpusPerNode int) (*Comm, error) {
+	if gpusPerNode <= 0 {
+		return nil, fmt.Errorf("%w: gpusPerNode %d", ErrBadGroup, gpusPerNode)
+	}
+	var leaders []int
+	for g := 0; g < c.ep.Size(); g += gpusPerNode {
+		leaders = append(leaders, g)
+	}
+	return c.Subgroup(leaders)
+}
+
+// Barrier blocks until every member of the communicator has entered it, using
+// a dissemination barrier: ceil(log2(n)) rounds of paired send/recv.
+func (c *Comm) Barrier(stream int) error {
+	n := len(c.group)
+	if n == 1 {
+		return nil
+	}
+	token := []byte{1}
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist%n + n) % n
+		errc := make(chan error, 1)
+		go func() { errc <- c.Send(to, stream, token) }()
+		if _, err := c.Recv(from, stream); err != nil {
+			return fmt.Errorf("barrier recv: %w", err)
+		}
+		if err := <-errc; err != nil {
+			return fmt.Errorf("barrier send: %w", err)
+		}
+	}
+	return nil
+}

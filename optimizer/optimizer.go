@@ -1,0 +1,281 @@
+// Package optimizer implements the parameter optimizers shipped with
+// AIACC-Training (§IV "Other features"): SGD with momentum, Adam, and the
+// hybrid AdamSGD optimizer the paper introduces (Adam's fast early progress
+// with a switch to SGD's better late-stage generalization), plus the linear
+// learning-rate decay the paper prefers over step decay for its interaction
+// with communication optimization and gradient compression.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"aiacc/tensor"
+)
+
+// Common errors.
+var (
+	// ErrMissingGrad indicates a parameter stepped without a gradient.
+	ErrMissingGrad = errors.New("optimizer: parameter has no gradient")
+	// ErrBadConfig indicates invalid optimizer hyper-parameters.
+	ErrBadConfig = errors.New("optimizer: bad configuration")
+)
+
+// Param couples a named weight tensor with its (already aggregated and
+// averaged) gradient for one update step.
+type Param struct {
+	// Name identifies the parameter; optimizer state is keyed on it.
+	Name string
+	// Weight is the parameter tensor, updated in place.
+	Weight *tensor.Tensor
+	// Grad is the gradient tensor; it is read, never written.
+	Grad *tensor.Tensor
+}
+
+// Optimizer updates parameters from gradients. Step is called once per
+// training iteration with the 1-based iteration number.
+type Optimizer interface {
+	// Name returns the optimizer's identifier.
+	Name() string
+	// Step applies one update to every parameter.
+	Step(step int, params []Param) error
+}
+
+// Schedule maps a 1-based step number to a learning rate.
+type Schedule interface {
+	// LR returns the learning rate for the given step.
+	LR(step int) float64
+}
+
+// Const is a constant learning rate.
+type Const float64
+
+var _ Schedule = Const(0)
+
+// LR implements Schedule.
+func (c Const) LR(int) float64 { return float64(c) }
+
+// StepDecay multiplies the base rate by Gamma every Every steps — the
+// conventional schedule the paper compares against.
+type StepDecay struct {
+	// Base is the initial learning rate.
+	Base float64
+	// Gamma is the decay factor per interval, typically 0.1.
+	Gamma float64
+	// Every is the interval in steps.
+	Every int
+}
+
+var _ Schedule = StepDecay{}
+
+// LR implements Schedule.
+func (s StepDecay) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	k := (step - 1) / s.Every
+	return s.Base * math.Pow(s.Gamma, float64(k))
+}
+
+// LinearDecay interpolates the rate linearly from Base to Final over Total
+// steps — AIACC-Training's preferred schedule (§IV).
+type LinearDecay struct {
+	// Base is the initial learning rate.
+	Base float64
+	// Final is the rate at and beyond Total steps.
+	Final float64
+	// Total is the number of steps over which to decay.
+	Total int
+}
+
+var _ Schedule = LinearDecay{}
+
+// LR implements Schedule.
+func (l LinearDecay) LR(step int) float64 {
+	if l.Total <= 1 || step >= l.Total {
+		return l.Final
+	}
+	if step < 1 {
+		step = 1
+	}
+	frac := float64(step-1) / float64(l.Total-1)
+	return l.Base + (l.Final-l.Base)*frac
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	// LR is the learning-rate schedule.
+	LR Schedule
+	// Momentum is the velocity coefficient; 0 disables momentum.
+	Momentum float64
+	// WeightDecay is the L2 penalty coefficient.
+	WeightDecay float64
+
+	velocity map[string][]float32
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr Schedule, momentum, weightDecay float64) (*SGD, error) {
+	if lr == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrBadConfig)
+	}
+	if momentum < 0 || momentum >= 1 {
+		return nil, fmt.Errorf("%w: momentum %v", ErrBadConfig, momentum)
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[string][]float32)}, nil
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(step int, params []Param) error {
+	lr := s.LR.LR(step)
+	for _, p := range params {
+		if p.Grad == nil {
+			return fmt.Errorf("%w: %q", ErrMissingGrad, p.Name)
+		}
+		w := p.Weight.Data()
+		g := p.Grad.Data()
+		if len(w) != len(g) {
+			return fmt.Errorf("optimizer: %q weight %d vs grad %d elements: %w",
+				p.Name, len(w), len(g), tensor.ErrShapeMismatch)
+		}
+		if s.Momentum > 0 {
+			vel, ok := s.velocity[p.Name]
+			if !ok {
+				vel = make([]float32, len(w))
+				s.velocity[p.Name] = vel
+			}
+			for i := range w {
+				gi := g[i] + float32(s.WeightDecay)*w[i]
+				vel[i] = float32(s.Momentum)*vel[i] + gi
+				w[i] -= float32(lr) * vel[i]
+			}
+		} else {
+			for i := range w {
+				gi := g[i] + float32(s.WeightDecay)*w[i]
+				w[i] -= float32(lr) * gi
+			}
+		}
+	}
+	return nil
+}
+
+// Adam is Adaptive Moment Estimation (Kingma & Ba, 2014).
+type Adam struct {
+	// LR is the learning-rate schedule.
+	LR Schedule
+	// Beta1 and Beta2 are the moment decay rates.
+	Beta1, Beta2 float64
+	// Eps is the numerical-stability constant.
+	Eps float64
+
+	m, v map[string][]float32
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with the given hyper-parameters; pass
+// 0.9, 0.999, 1e-8 for the paper defaults.
+func NewAdam(lr Schedule, beta1, beta2, eps float64) (*Adam, error) {
+	if lr == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrBadConfig)
+	}
+	if beta1 < 0 || beta1 >= 1 || beta2 < 0 || beta2 >= 1 || eps <= 0 {
+		return nil, fmt.Errorf("%w: beta1=%v beta2=%v eps=%v", ErrBadConfig, beta1, beta2, eps)
+	}
+	return &Adam{LR: lr, Beta1: beta1, Beta2: beta2, Eps: eps,
+		m: make(map[string][]float32), v: make(map[string][]float32)}, nil
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(step int, params []Param) error {
+	if step < 1 {
+		step = 1
+	}
+	lr := a.LR.LR(step)
+	bc1 := 1 - math.Pow(a.Beta1, float64(step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(step))
+	for _, p := range params {
+		if p.Grad == nil {
+			return fmt.Errorf("%w: %q", ErrMissingGrad, p.Name)
+		}
+		w := p.Weight.Data()
+		g := p.Grad.Data()
+		if len(w) != len(g) {
+			return fmt.Errorf("optimizer: %q weight %d vs grad %d elements: %w",
+				p.Name, len(w), len(g), tensor.ErrShapeMismatch)
+		}
+		m, ok := a.m[p.Name]
+		if !ok {
+			m = make([]float32, len(w))
+			a.m[p.Name] = m
+		}
+		v := a.v[p.Name]
+		if v == nil {
+			v = make([]float32, len(w))
+			a.v[p.Name] = v
+		}
+		for i := range w {
+			gi := float64(g[i])
+			mi := a.Beta1*float64(m[i]) + (1-a.Beta1)*gi
+			vi := a.Beta2*float64(v[i]) + (1-a.Beta2)*gi*gi
+			m[i] = float32(mi)
+			v[i] = float32(vi)
+			mHat := mi / bc1
+			vHat := vi / bc2
+			w[i] -= float32(lr * mHat / (math.Sqrt(vHat) + a.Eps))
+		}
+	}
+	return nil
+}
+
+// AdamSGD is the paper's hybrid optimizer: Adam for the first SwitchStep
+// iterations (fast early progress), SGD with momentum afterwards (better
+// late-stage generalization).
+type AdamSGD struct {
+	adam       *Adam
+	sgd        *SGD
+	switchStep int
+}
+
+var _ Optimizer = (*AdamSGD)(nil)
+
+// NewAdamSGD returns a hybrid optimizer that switches from adam to sgd after
+// switchStep iterations.
+func NewAdamSGD(adam *Adam, sgd *SGD, switchStep int) (*AdamSGD, error) {
+	if adam == nil || sgd == nil {
+		return nil, fmt.Errorf("%w: nil phase optimizer", ErrBadConfig)
+	}
+	if switchStep < 1 {
+		return nil, fmt.Errorf("%w: switch step %d", ErrBadConfig, switchStep)
+	}
+	return &AdamSGD{adam: adam, sgd: sgd, switchStep: switchStep}, nil
+}
+
+// Name implements Optimizer.
+func (h *AdamSGD) Name() string { return "adamsgd" }
+
+// Phase returns the active phase optimizer name at the given step.
+func (h *AdamSGD) Phase(step int) string {
+	if step <= h.switchStep {
+		return h.adam.Name()
+	}
+	return h.sgd.Name()
+}
+
+// Step implements Optimizer.
+func (h *AdamSGD) Step(step int, params []Param) error {
+	if step <= h.switchStep {
+		return h.adam.Step(step, params)
+	}
+	return h.sgd.Step(step-h.switchStep, params)
+}

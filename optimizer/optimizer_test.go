@@ -1,0 +1,226 @@
+package optimizer
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"aiacc/tensor"
+)
+
+func oneParam(w, g []float32) []Param {
+	return []Param{{Name: "w", Weight: tensor.FromSlice(w), Grad: tensor.FromSlice(g)}}
+}
+
+func TestSchedules(t *testing.T) {
+	tests := []struct {
+		name  string
+		sched Schedule
+		step  int
+		want  float64
+	}{
+		{name: "const", sched: Const(0.1), step: 50, want: 0.1},
+		{name: "step decay first interval", sched: StepDecay{Base: 1, Gamma: 0.1, Every: 10}, step: 10, want: 1},
+		{name: "step decay second interval", sched: StepDecay{Base: 1, Gamma: 0.1, Every: 10}, step: 11, want: 0.1},
+		{name: "step decay third interval", sched: StepDecay{Base: 1, Gamma: 0.1, Every: 10}, step: 21, want: 0.01},
+		{name: "step decay zero every", sched: StepDecay{Base: 0.5, Gamma: 0.1}, step: 100, want: 0.5},
+		{name: "linear start", sched: LinearDecay{Base: 1, Final: 0, Total: 11}, step: 1, want: 1},
+		{name: "linear middle", sched: LinearDecay{Base: 1, Final: 0, Total: 11}, step: 6, want: 0.5},
+		{name: "linear end", sched: LinearDecay{Base: 1, Final: 0, Total: 11}, step: 11, want: 0},
+		{name: "linear beyond", sched: LinearDecay{Base: 1, Final: 0.2, Total: 10}, step: 99, want: 0.2},
+		{name: "linear degenerate", sched: LinearDecay{Base: 1, Final: 0.3, Total: 1}, step: 1, want: 0.3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.sched.LR(tt.step); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("LR(%d) = %v, want %v", tt.step, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLinearDecayMonotone(t *testing.T) {
+	s := LinearDecay{Base: 0.4, Final: 0.01, Total: 1000}
+	prev := math.Inf(1)
+	for step := 1; step <= 1200; step += 7 {
+		lr := s.LR(step)
+		if lr > prev+1e-15 {
+			t.Fatalf("LR increased at step %d: %v > %v", step, lr, prev)
+		}
+		prev = lr
+	}
+}
+
+func TestSGDVanilla(t *testing.T) {
+	opt, err := NewSGD(Const(0.5), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := oneParam([]float32{1, 2}, []float32{0.2, -0.4})
+	if err := opt.Step(1, params); err != nil {
+		t.Fatal(err)
+	}
+	w := params[0].Weight.Data()
+	if math.Abs(float64(w[0])-0.9) > 1e-6 || math.Abs(float64(w[1])-2.2) > 1e-6 {
+		t.Errorf("weights = %v, want [0.9 2.2]", w)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt, err := NewSGD(Const(1), 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := oneParam([]float32{0}, []float32{1})
+	// Step 1: vel = 1, w = -1. Step 2: vel = 1.9, w = -2.9.
+	if err := opt.Step(1, params); err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.Step(2, params); err != nil {
+		t.Fatal(err)
+	}
+	w := params[0].Weight.At(0)
+	if math.Abs(float64(w)+2.9) > 1e-6 {
+		t.Errorf("w after two momentum steps = %v, want -2.9", w)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	opt, err := NewSGD(Const(0.1), 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := oneParam([]float32{2}, []float32{0})
+	if err := opt.Step(1, params); err != nil {
+		t.Fatal(err)
+	}
+	// effective grad = 0 + 0.5*2 = 1; w = 2 - 0.1 = 1.9
+	if w := params[0].Weight.At(0); math.Abs(float64(w)-1.9) > 1e-6 {
+		t.Errorf("w = %v, want 1.9", w)
+	}
+}
+
+func TestSGDErrors(t *testing.T) {
+	if _, err := NewSGD(nil, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil schedule error = %v", err)
+	}
+	if _, err := NewSGD(Const(0.1), 1.5, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("momentum>=1 error = %v", err)
+	}
+	opt, _ := NewSGD(Const(0.1), 0, 0)
+	err := opt.Step(1, []Param{{Name: "x", Weight: tensor.New(2)}})
+	if !errors.Is(err, ErrMissingGrad) {
+		t.Errorf("missing grad error = %v", err)
+	}
+	err = opt.Step(1, []Param{{Name: "x", Weight: tensor.New(2), Grad: tensor.New(3)}})
+	if !errors.Is(err, tensor.ErrShapeMismatch) {
+		t.Errorf("shape mismatch error = %v", err)
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// On the first step the bias-corrected update is lr * g/|g| = lr*sign(g)
+	// (up to eps), independent of gradient magnitude.
+	opt, err := NewAdam(Const(0.001), 0.9, 0.999, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := oneParam([]float32{0, 0}, []float32{100, -0.01})
+	if err := opt.Step(1, params); err != nil {
+		t.Fatal(err)
+	}
+	w := params[0].Weight.Data()
+	if math.Abs(float64(w[0])+0.001) > 1e-5 {
+		t.Errorf("w[0] = %v, want ~-0.001", w[0])
+	}
+	if math.Abs(float64(w[1])-0.001) > 1e-5 {
+		t.Errorf("w[1] = %v, want ~+0.001", w[1])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = (w-3)^2 with grad 2(w-3).
+	opt, err := NewAdam(Const(0.1), 0.9, 0.999, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.FromSlice([]float32{0})
+	g := tensor.New(1)
+	for step := 1; step <= 500; step++ {
+		g.Set(0, 2*(w.At(0)-3))
+		if err := opt.Step(step, []Param{{Name: "w", Weight: w, Grad: g}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(float64(w.At(0))-3) > 0.05 {
+		t.Errorf("Adam did not converge: w = %v, want ~3", w.At(0))
+	}
+}
+
+func TestAdamErrors(t *testing.T) {
+	if _, err := NewAdam(nil, 0.9, 0.999, 1e-8); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil schedule error = %v", err)
+	}
+	if _, err := NewAdam(Const(0.1), 1.0, 0.999, 1e-8); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("beta1=1 error = %v", err)
+	}
+	if _, err := NewAdam(Const(0.1), 0.9, 0.999, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("eps=0 error = %v", err)
+	}
+	opt, _ := NewAdam(Const(0.1), 0.9, 0.999, 1e-8)
+	if err := opt.Step(1, []Param{{Name: "x", Weight: tensor.New(1)}}); !errors.Is(err, ErrMissingGrad) {
+		t.Errorf("missing grad error = %v", err)
+	}
+}
+
+func TestAdamSGDSwitches(t *testing.T) {
+	adam, _ := NewAdam(Const(0.001), 0.9, 0.999, 1e-8)
+	sgd, _ := NewSGD(Const(0.5), 0, 0)
+	hybrid, err := NewAdamSGD(adam, sgd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Name() != "adamsgd" {
+		t.Errorf("Name = %q", hybrid.Name())
+	}
+	if hybrid.Phase(1) != "adam" || hybrid.Phase(2) != "adam" || hybrid.Phase(3) != "sgd" {
+		t.Errorf("phases = %q,%q,%q", hybrid.Phase(1), hybrid.Phase(2), hybrid.Phase(3))
+	}
+	params := oneParam([]float32{1}, []float32{1})
+	for step := 1; step <= 2; step++ {
+		if err := hybrid.Step(step, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := params[0].Weight.At(0)
+	if err := hybrid.Step(3, params); err != nil {
+		t.Fatal(err)
+	}
+	// SGD with lr 0.5 and grad 1 moves exactly -0.5.
+	got := params[0].Weight.At(0)
+	if math.Abs(float64(got-before)+0.5) > 1e-6 {
+		t.Errorf("SGD phase moved %v, want -0.5", got-before)
+	}
+}
+
+func TestAdamSGDErrors(t *testing.T) {
+	adam, _ := NewAdam(Const(0.001), 0.9, 0.999, 1e-8)
+	sgd, _ := NewSGD(Const(0.5), 0, 0)
+	if _, err := NewAdamSGD(nil, sgd, 5); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil adam error = %v", err)
+	}
+	if _, err := NewAdamSGD(adam, nil, 5); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil sgd error = %v", err)
+	}
+	if _, err := NewAdamSGD(adam, sgd, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("switch 0 error = %v", err)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	adam, _ := NewAdam(Const(1), 0.9, 0.999, 1e-8)
+	sgd, _ := NewSGD(Const(1), 0, 0)
+	if sgd.Name() != "sgd" || adam.Name() != "adam" {
+		t.Error("optimizer names wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package perseus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/optimizer"
+	"aiacc/tensor"
+	"aiacc/transport"
+)
+
+// The public API over the multi-process rendezvous mesh: sessions built on
+// transport.NewTCPWorker endpoints (the deployment path of real multi-node
+// runs) must behave identically to the in-process transports — broadcast,
+// distributed optimizer, averaging, stats.
+func TestSessionOverTCPWorkerMesh(t *testing.T) {
+	const size = 3
+	opts := []Option{WithStreams(2), WithGranularity(256 << 10)}
+	streams, err := RequiredStreams(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, err := transport.FreeAddrs(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	finals := map[int]float32{}
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := transport.NewTCPWorker(r, streams, addrs, transport.WithDialTimeout(15*time.Second))
+			if err != nil {
+				errc <- fmt.Errorf("rank %d rendezvous: %w", r, err)
+				return
+			}
+			defer func() { _ = ep.Close() }()
+			s, err := NewSession(ep, opts...)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = s.Close() }()
+
+			w := tensor.New(8)
+			if s.Rank() == 0 {
+				w.Fill(5)
+			}
+			g := tensor.New(8)
+			params := []optimizer.Param{{Name: "w", Weight: w, Grad: g}}
+			if err := s.RegisterParams(params); err != nil {
+				errc <- err
+				return
+			}
+			if err := s.Start(); err != nil {
+				errc <- err
+				return
+			}
+			if err := s.BroadcastParameters(params, 0); err != nil {
+				errc <- err
+				return
+			}
+			if w.At(0) != 5 {
+				errc <- fmt.Errorf("rank %d: broadcast missed, w=%v", s.Rank(), w.At(0))
+				return
+			}
+			sgd, err := optimizer.NewSGD(optimizer.Const(0.1), 0, 0)
+			if err != nil {
+				errc <- err
+				return
+			}
+			opt := s.DistributedOptimizer(sgd)
+			for step := 1; step <= 10; step++ {
+				// Rank-dependent gradients averaging to 1 everywhere.
+				g.Fill(float32(s.Rank()) + 1 - float32(size-1)/2)
+				if err := opt.Step(step, params); err != nil {
+					errc <- err
+					return
+				}
+			}
+			// w = 5 - 0.1*1*10 = 4 on every rank.
+			mu.Lock()
+			finals[s.Rank()] = w.At(0)
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	var base float32
+	for r, v := range finals {
+		// Float32 rounding across averaged steps: accept a tiny epsilon,
+		// but every rank must agree bit-exactly.
+		if v < 3.999 || v > 4.001 {
+			t.Errorf("rank %d final w = %v, want ~4", r, v)
+		}
+		if base == 0 {
+			base = v
+		} else if v != base {
+			t.Errorf("rank %d final w = %v differs from %v", r, v, base)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// IEEE 754 half-precision (binary16) conversion. AIACC-Training uses a
+// half-precision representation of gradients to halve the bytes on the wire
+// (§X, gradient compression); the reduction itself still happens in fp32.
+// The conversion is implemented from scratch because the reproduction is
+// stdlib-only.
+
+// Float32ToHalf converts an fp32 value to its binary16 bit pattern with
+// round-to-nearest-even, saturating overflow to ±Inf and flushing values
+// below the subnormal range to signed zero.
+func Float32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // NaN or Inf
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal half range
+		// 10-bit mantissa; round to nearest even on the 13 dropped bits.
+		h := uint32(exp+15)<<10 | mant>>13
+		round := mant & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && h&1 == 1) {
+			h++
+		}
+		return sign | uint16(h)
+	case exp >= -24: // subnormal half
+		mant |= 0x800000 // restore the implicit bit
+		shift := uint32(-exp - 1)
+		h := mant >> (shift + 10)
+		round := mant & ((1 << (shift + 10)) - 1)
+		half := uint32(1) << (shift + 9)
+		if round > half || (round == half && h&1 == 1) {
+			h++
+		}
+		return sign | uint16(h)
+	default: // underflow -> signed zero
+		return sign
+	}
+}
+
+// HalfToFloat32 converts a binary16 bit pattern to fp32.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // Inf
+		}
+		return math.Float32frombits(sign | 0x7fc00000) // NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// EncodeHalf serializes src as little-endian binary16 into dst, which must
+// have capacity for 2*len(src) bytes. It returns the encoded byte count.
+func EncodeHalf(dst []byte, src []float32) int {
+	for i, v := range src {
+		binary.LittleEndian.PutUint16(dst[2*i:], Float32ToHalf(v))
+	}
+	return 2 * len(src)
+}
+
+// DecodeHalf parses little-endian binary16 values from src into dst, which
+// must have len(src)/2 elements.
+func DecodeHalf(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] = HalfToFloat32(binary.LittleEndian.Uint16(src[2*i:]))
+	}
+}

@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfRoundTripExact(t *testing.T) {
+	// Values exactly representable in binary16 must round-trip exactly.
+	exact := []float32{0, 1, -1, 0.5, 2, -2, 1024, 65504, -65504, 0.25, 6.1035156e-05}
+	for _, v := range exact {
+		got := HalfToFloat32(Float32ToHalf(v))
+		if got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestHalfSpecials(t *testing.T) {
+	tests := []struct {
+		name string
+		in   float32
+		want func(float32) bool
+	}{
+		{name: "+inf", in: float32(math.Inf(1)), want: func(f float32) bool { return math.IsInf(float64(f), 1) }},
+		{name: "-inf", in: float32(math.Inf(-1)), want: func(f float32) bool { return math.IsInf(float64(f), -1) }},
+		{name: "nan", in: float32(math.NaN()), want: func(f float32) bool { return math.IsNaN(float64(f)) }},
+		{name: "overflow", in: 1e10, want: func(f float32) bool { return math.IsInf(float64(f), 1) }},
+		{name: "neg overflow", in: -1e10, want: func(f float32) bool { return math.IsInf(float64(f), -1) }},
+		{name: "underflow", in: 1e-10, want: func(f float32) bool { return f == 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := HalfToFloat32(Float32ToHalf(tt.in))
+			if !tt.want(got) {
+				t.Errorf("%v -> %v", tt.in, got)
+			}
+		})
+	}
+}
+
+func TestHalfSignedZero(t *testing.T) {
+	negZero := float32(math.Copysign(0, -1))
+	h := Float32ToHalf(negZero)
+	if h != 0x8000 {
+		t.Errorf("-0 encodes to %#04x, want 0x8000", h)
+	}
+	if math.Signbit(float64(HalfToFloat32(h))) != true {
+		t.Error("-0 must round-trip with its sign")
+	}
+}
+
+func TestHalfSubnormals(t *testing.T) {
+	// Smallest positive half subnormal = 2^-24.
+	tiny := float32(math.Ldexp(1, -24))
+	h := Float32ToHalf(tiny)
+	if h != 0x0001 {
+		t.Errorf("2^-24 encodes to %#04x, want 0x0001", h)
+	}
+	if got := HalfToFloat32(0x0001); got != tiny {
+		t.Errorf("decode 0x0001 = %v, want %v", got, tiny)
+	}
+	// Largest subnormal: 0x03ff = (1023/1024) * 2^-14.
+	want := float32(1023.0 / 1024.0 * math.Ldexp(1, -14))
+	if got := HalfToFloat32(0x03ff); got != want {
+		t.Errorf("decode 0x03ff = %v, want %v", got, want)
+	}
+}
+
+func TestHalfRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+	// ties round to even mantissa (1.0).
+	mid := float32(1) + float32(math.Ldexp(1, -11))
+	if got := HalfToFloat32(Float32ToHalf(mid)); got != 1 {
+		t.Errorf("tie %v rounded to %v, want 1 (even)", mid, got)
+	}
+	// Slightly above the tie must round up.
+	above := float32(1) + float32(math.Ldexp(1, -11)) + float32(math.Ldexp(1, -20))
+	wantUp := float32(1) + float32(math.Ldexp(1, -10))
+	if got := HalfToFloat32(Float32ToHalf(above)); got != wantUp {
+		t.Errorf("above-tie %v rounded to %v, want %v", above, got, wantUp)
+	}
+}
+
+func TestEncodeDecodeHalfBuffers(t *testing.T) {
+	src := []float32{1, -2.5, 0, 100, -0.125}
+	buf := make([]byte, 2*len(src))
+	n := EncodeHalf(buf, src)
+	if n != len(buf) {
+		t.Fatalf("EncodeHalf returned %d, want %d", n, len(buf))
+	}
+	dst := make([]float32, len(src))
+	DecodeHalf(dst, buf)
+	for i, v := range src {
+		if dst[i] != v {
+			t.Errorf("element %d: %v -> %v", i, v, dst[i])
+		}
+	}
+}
+
+// Property: decode(encode(x)) is within half-precision relative error for all
+// values inside the normal half range.
+func TestQuickHalfRelativeError(t *testing.T) {
+	f := func(v float32) bool {
+		av := math.Abs(float64(v))
+		if av > 65504 || av < 6.2e-05 || math.IsNaN(float64(v)) {
+			return true // outside normal range: saturation behaviour tested elsewhere
+		}
+		got := float64(HalfToFloat32(Float32ToHalf(v)))
+		rel := math.Abs(got-float64(v)) / av
+		return rel <= 1.0/1024 // half has 10 mantissa bits -> eps/2 = 2^-11 < 1/1024
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is monotone on non-negative normal values.
+func TestQuickHalfMonotone(t *testing.T) {
+	f := func(a, b float32) bool {
+		fa, fb := math.Abs(float64(a)), math.Abs(float64(b))
+		if fa > 65504 || fb > 65504 || math.IsNaN(fa) || math.IsNaN(fb) {
+			return true
+		}
+		x, y := float32(fa), float32(fb)
+		if x > y {
+			x, y = y, x
+		}
+		return Float32ToHalf(x) <= Float32ToHalf(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

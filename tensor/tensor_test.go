@@ -1,0 +1,275 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	tests := []struct {
+		name    string
+		shape   []int
+		wantLen int
+	}{
+		{name: "scalar-ish empty", shape: nil, wantLen: 0},
+		{name: "vector", shape: []int{7}, wantLen: 7},
+		{name: "matrix", shape: []int{3, 4}, wantLen: 12},
+		{name: "rank3", shape: []int{2, 3, 4}, wantLen: 24},
+		{name: "zero dim", shape: []int{0, 5}, wantLen: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := New(tt.shape...)
+			if got := tr.Len(); got != tt.wantLen {
+				t.Errorf("Len() = %d, want %d", got, tt.wantLen)
+			}
+			if got := tr.Bytes(); got != int64(tt.wantLen)*4 {
+				t.Errorf("Bytes() = %d, want %d", got, tt.wantLen*4)
+			}
+			for i := 0; i < tr.Len(); i++ {
+				if tr.At(i) != 0 {
+					t.Fatalf("element %d not zeroed", i)
+				}
+			}
+		})
+	}
+}
+
+func TestShapeIsCopied(t *testing.T) {
+	tr := New(2, 3)
+	s := tr.Shape()
+	s[0] = 99
+	if tr.Shape()[0] != 2 {
+		t.Error("Shape() must return a copy")
+	}
+}
+
+func TestFromSliceAndFilled(t *testing.T) {
+	tr := FromSlice([]float32{1, 2, 3})
+	if tr.Len() != 3 || tr.At(1) != 2 {
+		t.Fatalf("FromSlice wrong contents: %v", tr.Data())
+	}
+	f := Filled(2.5, 2, 2)
+	for i := 0; i < f.Len(); i++ {
+		if f.At(i) != 2.5 {
+			t.Fatalf("Filled element %d = %v", i, f.At(i))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3})
+	b := a.Clone()
+	b.Set(0, 42)
+	if a.At(0) != 1 {
+		t.Error("Clone must not alias storage")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	dst := New(3)
+	src := FromSlice([]float32{4, 5, 6})
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if dst.At(2) != 6 {
+		t.Errorf("dst[2] = %v, want 6", dst.At(2))
+	}
+	if err := dst.CopyFrom(New(4)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("CopyFrom mismatched length error = %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestView(t *testing.T) {
+	tr := FromSlice([]float32{0, 1, 2, 3, 4})
+	v, err := tr.View(1, 3)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if v.Len() != 3 || v.At(0) != 1 || v.At(2) != 3 {
+		t.Fatalf("view contents wrong: %v", v.Data())
+	}
+	v.Set(0, 10)
+	if tr.At(1) != 10 {
+		t.Error("view must alias parent storage")
+	}
+	if _, err := tr.View(3, 4); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range view error = %v, want ErrOutOfRange", err)
+	}
+	if _, err := tr.View(-1, 2); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative offset error = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestAddScaleDotSum(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3})
+	b := FromSlice([]float32{10, 20, 30})
+	if err := a.Add(b); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	want := []float32{11, 22, 33}
+	for i, w := range want {
+		if a.At(i) != w {
+			t.Errorf("a[%d] = %v, want %v", i, a.At(i), w)
+		}
+	}
+	a.Scale(2)
+	if a.At(0) != 22 {
+		t.Errorf("Scale: a[0] = %v, want 22", a.At(0))
+	}
+	d, err := a.Dot(b)
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	// a = {22,44,66}, b = {10,20,30} -> 220 + 880 + 1980 = 3080
+	if d != 3080 {
+		t.Errorf("Dot = %v, want 3080", d)
+	}
+	if got := a.Sum(); got != 132 {
+		t.Errorf("Sum = %v, want 132", got)
+	}
+	if err := a.Add(New(5)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("Add length mismatch error = %v", err)
+	}
+	if _, err := a.Dot(New(5)); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("Dot length mismatch error = %v", err)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	tr := FromSlice([]float32{3, 4})
+	if got := tr.Norm2(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	tests := []struct {
+		name    string
+		data    []float32
+		wantHit bool
+		wantIdx int
+	}{
+		{name: "clean", data: []float32{1, 2, 3}, wantHit: false, wantIdx: -1},
+		{name: "nan middle", data: []float32{1, float32(math.NaN()), 3}, wantHit: true, wantIdx: 1},
+		{name: "pos inf", data: []float32{float32(math.Inf(1))}, wantHit: true, wantIdx: 0},
+		{name: "neg inf last", data: []float32{0, 0, float32(math.Inf(-1))}, wantHit: true, wantIdx: 2},
+		{name: "empty", data: nil, wantHit: false, wantIdx: -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			hit, idx := FromSlice(tt.data).HasNaN()
+			if hit != tt.wantHit || idx != tt.wantIdx {
+				t.Errorf("HasNaN = (%v,%d), want (%v,%d)", hit, idx, tt.wantHit, tt.wantIdx)
+			}
+		})
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	tests := []struct {
+		op   ReduceOp
+		want []float32
+	}{
+		{op: OpSum, want: []float32{5, 7, 9}},
+		{op: OpMin, want: []float32{1, 2, 3}},
+		{op: OpMax, want: []float32{4, 5, 6}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.op.String(), func(t *testing.T) {
+			dst := []float32{1, 5, 3}
+			src := []float32{4, 2, 6}
+			if tt.op == OpSum {
+				dst = []float32{1, 2, 3}
+				src = []float32{4, 5, 6}
+			}
+			if tt.op == OpMin {
+				dst = []float32{4, 2, 6}
+				src = []float32{1, 5, 3}
+			}
+			if tt.op == OpMax {
+				dst = []float32{1, 5, 3}
+				src = []float32{4, 2, 6}
+			}
+			if err := tt.op.Apply(dst, src); err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			for i, w := range tt.want {
+				if dst[i] != w {
+					t.Errorf("dst[%d] = %v, want %v", i, dst[i], w)
+				}
+			}
+		})
+	}
+}
+
+func TestReduceOpErrors(t *testing.T) {
+	if err := OpSum.Apply([]float32{1}, []float32{1, 2}); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("length mismatch error = %v", err)
+	}
+	if err := ReduceOp(0).Apply([]float32{1}, []float32{1}); err == nil {
+		t.Error("zero-value ReduceOp must be rejected")
+	}
+	if err := OpSum.Apply(nil, nil); err != nil {
+		t.Errorf("empty apply should succeed, got %v", err)
+	}
+}
+
+func TestReduceOpString(t *testing.T) {
+	if OpSum.String() != "sum" || OpMin.String() != "min" || OpMax.String() != "max" {
+		t.Error("ReduceOp String() wrong")
+	}
+	if ReduceOp(9).String() != "ReduceOp(9)" {
+		t.Errorf("unknown op string = %q", ReduceOp(9).String())
+	}
+}
+
+// Property: sum reduction is commutative over operand order.
+func TestQuickSumCommutative(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := make([]float32, n)
+		y := make([]float32, n)
+		copy(x, a[:n])
+		copy(y, b[:n])
+		AddSlice(x, b[:n]) // x = a+b
+		AddSlice(y, a[:n]) // y = b+a
+		for i := range x {
+			xi, yi := x[i], y[i]
+			if xi != yi && !(math.IsNaN(float64(xi)) && math.IsNaN(float64(yi))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min(a,b) <= a and min(a,b) <= b element-wise (NaN-free input).
+func TestQuickMinBounds(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := make([]float32, n)
+		copy(x, a[:n])
+		MinSlice(x, b[:n])
+		for i := range x {
+			if x[i] > a[i] || x[i] > b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package trace records engine activity as a timeline and exports it in the
+// Chrome trace-event format (chrome://tracing, Perfetto). AIACC-Training
+// ships observability for production debugging (§IV); here a Recorder can be
+// attached to the live engine (engine.Config.Trace) to capture gradient
+// pushes, synchronization rounds and per-stream all-reduce spans, making the
+// multi-streamed overlap of Fig. 5 directly visible.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrClosed indicates use of a recorder after Export consumed it.
+var ErrClosed = errors.New("trace: recorder closed")
+
+// Phase constants of the Chrome trace-event format.
+const (
+	phaseComplete = "X"
+	phaseInstant  = "i"
+)
+
+// Event is one trace-event-format record.
+type Event struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TSUs  int64             `json:"ts"`            // microseconds since recorder start
+	DurUs int64             `json:"dur,omitempty"` // for complete events
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// Recorder collects events; it is safe for concurrent use. The zero value is
+// not usable; call NewRecorder.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []Event
+	pid    int
+	now    func() time.Time
+}
+
+// NewRecorder returns a recorder whose clock starts now.
+func NewRecorder() *Recorder {
+	r := &Recorder{pid: 1, now: time.Now}
+	r.start = r.now()
+	return r
+}
+
+func (r *Recorder) since(t time.Time) int64 {
+	return t.Sub(r.start).Microseconds()
+}
+
+// Span records a complete event covering [begin, now) on the given lane
+// (tid; the engine uses stream ids). Returned by Begin.
+type Span struct {
+	r     *Recorder
+	name  string
+	cat   string
+	tid   int
+	begin time.Time
+	args  map[string]string
+}
+
+// Begin opens a span on lane tid; call End (usually deferred) to record it.
+func (r *Recorder) Begin(name, cat string, tid int) *Span {
+	return &Span{r: r, name: name, cat: cat, tid: tid, begin: r.now()}
+}
+
+// Arg attaches a key/value to the span.
+func (s *Span) Arg(key, value string) *Span {
+	if s.args == nil {
+		s.args = make(map[string]string)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End records the span.
+func (s *Span) End() {
+	end := s.r.now()
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	s.r.events = append(s.r.events, Event{
+		Name:  s.name,
+		Cat:   s.cat,
+		Phase: phaseComplete,
+		TSUs:  s.r.since(s.begin),
+		DurUs: end.Sub(s.begin).Microseconds(),
+		PID:   s.r.pid,
+		TID:   s.tid,
+		Args:  s.args,
+	})
+}
+
+// Instant records a point event on lane tid.
+func (r *Recorder) Instant(name, cat string, tid int, args map[string]string) {
+	t := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{
+		Name:  name,
+		Cat:   cat,
+		Phase: phaseInstant,
+		TSUs:  r.since(t),
+		PID:   r.pid,
+		TID:   tid,
+		Args:  args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in recording order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Export writes the events as a Chrome trace-event JSON array. The recorder
+// remains usable; Export can be called repeatedly as the timeline grows.
+func (r *Recorder) Export(w io.Writer) error {
+	events := r.Events()
+	enc := json.NewEncoder(w)
+	// The trace-event format accepts a bare JSON array of events.
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("trace export: %w", err)
+	}
+	return nil
+}

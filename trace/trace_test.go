@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a now() that advances a fixed amount per call.
+func fixedClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		out := t
+		t = t.Add(step)
+		return out
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	r := NewRecorder()
+	r.now = fixedClock(r.start, time.Millisecond)
+	s := r.Begin("all-reduce unit 0", "comm", 2).Arg("bytes", "4096")
+	s.End()
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[0]
+	if e.Name != "all-reduce unit 0" || e.Cat != "comm" || e.Phase != "X" || e.TID != 2 {
+		t.Errorf("event = %+v", e)
+	}
+	if e.DurUs != 1000 {
+		t.Errorf("duration = %dus, want 1000", e.DurUs)
+	}
+	if e.Args["bytes"] != "4096" {
+		t.Errorf("args = %v", e.Args)
+	}
+}
+
+func TestInstantRecording(t *testing.T) {
+	r := NewRecorder()
+	r.Instant("push w", "gradient", 5, map[string]string{"k": "v"})
+	events := r.Events()
+	if len(events) != 1 || events[0].Phase != "i" || events[0].TID != 5 {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestExportIsValidChromeTraceJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Instant("a", "x", 0, nil)
+	s := r.Begin("b", "y", 1)
+	s.End()
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d events", len(decoded))
+	}
+	for _, e := range decoded {
+		for _, key := range []string{"name", "cat", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event missing %q: %v", key, e)
+			}
+		}
+	}
+	// Export is repeatable and the recorder remains usable.
+	r.Instant("c", "x", 0, nil)
+	if r.Len() != 3 {
+		t.Errorf("Len = %d after post-export record", r.Len())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if i%2 == 0 {
+					r.Instant("i", "c", g, nil)
+				} else {
+					r.Begin("s", "c", g).End()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestEventsIsCopy(t *testing.T) {
+	r := NewRecorder()
+	r.Instant("a", "x", 0, nil)
+	ev := r.Events()
+	ev[0].Name = "mutated"
+	if r.Events()[0].Name != "a" {
+		t.Error("Events must return a copy")
+	}
+}

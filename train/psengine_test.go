@@ -1,0 +1,130 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"aiacc/baseline"
+	"aiacc/engine"
+	"aiacc/mpi"
+	"aiacc/optimizer"
+	"aiacc/transport"
+)
+
+// trainMLPWith trains the same task with the given engine factory and
+// returns rank 0's final first-layer weights and last loss.
+func trainMLPWith(t *testing.T, size int, mk func(comm *mpi.Comm) (CommEngine, error), streams int) ([]float32, float64) {
+	t.Helper()
+	net, err := transport.NewMem(size, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+	var mu sync.Mutex
+	var final []float32
+	var lastLoss float64
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			comm := mpi.NewWorld(ep)
+			mlp, err := NewMLP(555, 4, 8, 2) // identical init on all ranks
+			if err != nil {
+				errc <- err
+				return
+			}
+			producer, err := NewMLPProducer(mlp, func(step int) ([][]float32, [][]float32) {
+				// Deterministic per-rank shard of a fixed regression task.
+				const batch = 8
+				ins := make([][]float32, batch)
+				outs := make([][]float32, batch)
+				for i := range ins {
+					v := float32((step*batch+i)%7)/7 + float32(r)*0.01
+					x := []float32{v, 1 - v, v * v, 0.5}
+					ins[i] = x
+					outs[i] = []float32{x[0] - x[1], x[2]}
+				}
+				return ins, outs
+			})
+			if err != nil {
+				errc <- err
+				return
+			}
+			sgd, err := optimizer.NewSGD(optimizer.Const(0.05), 0, 0)
+			if err != nil {
+				errc <- err
+				return
+			}
+			eng, err := mk(comm)
+			if err != nil {
+				errc <- err
+				return
+			}
+			tr, err := NewTrainerWithEngine(eng, producer, sgd)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer func() { _ = tr.Close() }()
+			results, err := tr.Run(30)
+			if err != nil {
+				errc <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			if r == 0 {
+				mu.Lock()
+				w := tr.params[0].Weight
+				final = make([]float32, w.Len())
+				copy(final, w.Data())
+				lastLoss = results[len(results)-1].Loss
+				mu.Unlock()
+			}
+		}(r, ep)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	return final, lastLoss
+}
+
+// The AIACC engine and the parameter-server baseline must produce the same
+// training trajectory (identical averaging semantics), modulo float summing
+// order.
+func TestPSAndAIACCTrainEquivalently(t *testing.T) {
+	const size = 3
+	aiaccCfg := engine.DefaultConfig()
+	aiaccCfg.Streams = 2
+	aiaccW, aiaccLoss := trainMLPWith(t, size, func(comm *mpi.Comm) (CommEngine, error) {
+		return engine.NewEngine(comm, aiaccCfg)
+	}, aiaccCfg.RequiredStreams())
+
+	psCfg := baseline.DefaultPSConfig()
+	psW, psLoss := trainMLPWith(t, size, func(comm *mpi.Comm) (CommEngine, error) {
+		return baseline.NewPSEngine(comm, psCfg)
+	}, psCfg.RequiredStreams())
+
+	if len(aiaccW) != len(psW) {
+		t.Fatalf("weight lengths differ: %d vs %d", len(aiaccW), len(psW))
+	}
+	for i := range aiaccW {
+		if math.Abs(float64(aiaccW[i]-psW[i])) > 1e-4 {
+			t.Errorf("weight %d: aiacc %v vs ps %v", i, aiaccW[i], psW[i])
+		}
+	}
+	if math.Abs(aiaccLoss-psLoss) > 1e-4 {
+		t.Errorf("final losses differ: %v vs %v", aiaccLoss, psLoss)
+	}
+	if aiaccLoss <= 0 {
+		t.Errorf("loss = %v", aiaccLoss)
+	}
+}

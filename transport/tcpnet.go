@@ -1,0 +1,331 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpNetwork is a Network whose ranks exchange messages over real TCP
+// sockets. Every directed (from, to, stream) triple gets its own socket, so
+// an AIACC stream maps one-to-one onto an OS-level TCP connection — exactly
+// how multiple concurrent communication streams multiplex a physical link in
+// the paper.
+//
+// Wire format: each message is a frame of a 4-byte big-endian length followed
+// by the payload. When a connection is established the dialer first sends an
+// 8-byte header identifying (from rank, stream id).
+type tcpNetwork struct {
+	size    int
+	streams int
+
+	mu        sync.Mutex
+	closed    bool
+	endpoints []*tcpEndpoint
+}
+
+var _ Network = (*tcpNetwork)(nil)
+
+// NewTCP creates a fully-connected TCP mesh of `size` ranks on the loopback
+// interface with `streams` sockets per directed pair. It blocks until the
+// mesh is established.
+func NewTCP(size, streams int) (Network, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: size %d", ErrBadRank, size)
+	}
+	if streams <= 0 {
+		return nil, fmt.Errorf("%w: streams %d", ErrBadStream, streams)
+	}
+
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for r := 0; r < size; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeListeners(listeners[:r])
+			return nil, fmt.Errorf("listen rank %d: %w", r, err)
+		}
+		listeners[r] = l
+		addrs[r] = l.Addr().String()
+	}
+
+	n := &tcpNetwork{size: size, streams: streams}
+	n.endpoints = make([]*tcpEndpoint, size)
+	for r := 0; r < size; r++ {
+		n.endpoints[r] = newTCPEndpoint(r, size, streams)
+	}
+
+	// Accept the expected incoming connections on every rank.
+	expect := (size - 1) * streams
+	var acceptWG sync.WaitGroup
+	acceptErrs := make(chan error, size)
+	for r := 0; r < size; r++ {
+		acceptWG.Add(1)
+		go func(r int) {
+			defer acceptWG.Done()
+			if err := n.endpoints[r].acceptAll(listeners[r], expect); err != nil {
+				acceptErrs <- fmt.Errorf("rank %d accept: %w", r, err)
+			}
+		}(r)
+	}
+
+	// Dial the mesh: rank i owns the sockets it sends on.
+	var dialWG sync.WaitGroup
+	dialErrs := make(chan error, size*size*streams)
+	for i := 0; i < size; i++ {
+		for j := 0; j < size; j++ {
+			if i == j {
+				continue
+			}
+			for s := 0; s < streams; s++ {
+				dialWG.Add(1)
+				go func(i, j, s int) {
+					defer dialWG.Done()
+					conn, err := net.Dial("tcp", addrs[j])
+					if err != nil {
+						dialErrs <- fmt.Errorf("dial %d->%d stream %d: %w", i, j, s, err)
+						return
+					}
+					var hdr [8]byte
+					binary.BigEndian.PutUint32(hdr[0:], uint32(i))
+					binary.BigEndian.PutUint32(hdr[4:], uint32(s))
+					if _, err := conn.Write(hdr[:]); err != nil {
+						_ = conn.Close()
+						dialErrs <- fmt.Errorf("handshake %d->%d stream %d: %w", i, j, s, err)
+						return
+					}
+					n.endpoints[i].setOut(j, s, conn)
+				}(i, j, s)
+			}
+		}
+	}
+	dialWG.Wait()
+	acceptWG.Wait()
+	closeListeners(listeners)
+	close(dialErrs)
+	close(acceptErrs)
+	for _, ch := range []chan error{dialErrs, acceptErrs} {
+		for err := range ch {
+			_ = n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func closeListeners(ls []net.Listener) {
+	for _, l := range ls {
+		if l != nil {
+			_ = l.Close()
+		}
+	}
+}
+
+func (n *tcpNetwork) Size() int    { return n.size }
+func (n *tcpNetwork) Streams() int { return n.streams }
+
+func (n *tcpNetwork) Endpoint(r int) (Endpoint, error) {
+	if err := checkRank(r, n.size); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	return n.endpoints[r], nil
+}
+
+func (n *tcpNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range n.endpoints {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// tcpEndpoint is one rank's handle on a tcpNetwork.
+type tcpEndpoint struct {
+	rank    int
+	size    int
+	streams int
+
+	// out[to*streams+stream] is the socket this rank sends on; each has a
+	// dedicated mutex because multiple collectives may share a stream.
+	outMu []sync.Mutex
+	out   []net.Conn
+
+	// inbox[from*streams+stream] receives decoded frames from the reader
+	// goroutines.
+	inbox []chan []byte
+
+	readerWG  sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	setMu sync.Mutex // guards out during mesh establishment
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+func newTCPEndpoint(rank, size, streams int) *tcpEndpoint {
+	ep := &tcpEndpoint{
+		rank:    rank,
+		size:    size,
+		streams: streams,
+		outMu:   make([]sync.Mutex, size*streams),
+		out:     make([]net.Conn, size*streams),
+		inbox:   make([]chan []byte, size*streams),
+		closed:  make(chan struct{}),
+	}
+	for i := range ep.inbox {
+		ep.inbox[i] = make(chan []byte, 1)
+	}
+	return ep
+}
+
+func (e *tcpEndpoint) setOut(to, stream int, conn net.Conn) {
+	e.setMu.Lock()
+	defer e.setMu.Unlock()
+	e.out[to*e.streams+stream] = conn
+}
+
+// acceptAll accepts `expect` connections, reads each handshake header and
+// spawns a reader goroutine per connection.
+func (e *tcpEndpoint) acceptAll(l net.Listener, expect int) error {
+	for i := 0; i < expect; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("read handshake: %w", err)
+		}
+		from := int(binary.BigEndian.Uint32(hdr[0:]))
+		stream := int(binary.BigEndian.Uint32(hdr[4:]))
+		if err := checkRank(from, e.size); err != nil {
+			_ = conn.Close()
+			return err
+		}
+		if err := checkStream(stream, e.streams); err != nil {
+			_ = conn.Close()
+			return err
+		}
+		e.readerWG.Add(1)
+		go e.readLoop(conn, from, stream)
+	}
+	return nil
+}
+
+// readLoop decodes frames from one incoming socket into the matching inbox
+// channel until the socket fails or the endpoint closes.
+func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
+	defer e.readerWG.Done()
+	defer func() { _ = conn.Close() }()
+	// Close the socket when the endpoint shuts down so the blocking read
+	// below is released.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-e.closed:
+			_ = conn.Close()
+		case <-stop:
+		}
+	}()
+
+	inbox := e.inbox[from*e.streams+stream]
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		select {
+		case inbox <- payload:
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Rank() int    { return e.rank }
+func (e *tcpEndpoint) Size() int    { return e.size }
+func (e *tcpEndpoint) Streams() int { return e.streams }
+
+func (e *tcpEndpoint) Send(to, stream int, data []byte) error {
+	if err := checkRank(to, e.size); err != nil {
+		return err
+	}
+	if err := checkStream(stream, e.streams); err != nil {
+		return err
+	}
+	if to == e.rank {
+		return fmt.Errorf("%w: self-send on rank %d", ErrBadRank, to)
+	}
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	idx := to*e.streams + stream
+	e.outMu[idx].Lock()
+	defer e.outMu[idx].Unlock()
+	conn := e.out[idx]
+	if conn == nil {
+		return ErrClosed
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream, err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv(from, stream int) ([]byte, error) {
+	if err := checkRank(from, e.size); err != nil {
+		return nil, err
+	}
+	if err := checkStream(stream, e.streams); err != nil {
+		return nil, err
+	}
+	select {
+	case <-e.closed:
+		return nil, ErrClosed
+	case data := <-e.inbox[from*e.streams+stream]:
+		return data, nil
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.closed)
+		e.setMu.Lock()
+		for _, conn := range e.out {
+			if conn != nil {
+				_ = conn.Close()
+			}
+		}
+		e.setMu.Unlock()
+	})
+	e.readerWG.Wait()
+	return nil
+}

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrRendezvous indicates the multi-process mesh could not be established
+// within the dial timeout.
+var ErrRendezvous = errors.New("transport: rendezvous failed")
+
+// WorkerOption configures NewTCPWorker.
+type WorkerOption func(*workerConfig)
+
+type workerConfig struct {
+	dialTimeout time.Duration
+	retryDelay  time.Duration
+}
+
+// WithDialTimeout bounds how long a worker waits for its peers to come up
+// (default 30s).
+func WithDialTimeout(d time.Duration) WorkerOption {
+	return func(c *workerConfig) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// NewTCPWorker establishes this rank's endpoint of a TCP mesh spanning
+// multiple OS processes (or machines): addrs lists every rank's listen
+// address; the worker binds addrs[rank], accepts the expected incoming
+// sockets and dials every peer with retries until the mesh is complete.
+// This is the deployment path a real multi-node run uses — each training
+// process calls NewTCPWorker with the same address list and its own rank
+// (see `aiacc-run -multiproc`).
+func NewTCPWorker(rank, streams int, addrs []string, opts ...WorkerOption) (Endpoint, error) {
+	size := len(addrs)
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: no addresses", ErrBadRank)
+	}
+	if err := checkRank(rank, size); err != nil {
+		return nil, err
+	}
+	if streams <= 0 {
+		return nil, fmt.Errorf("%w: streams %d", ErrBadStream, streams)
+	}
+	cfg := workerConfig{dialTimeout: 30 * time.Second, retryDelay: 50 * time.Millisecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	l, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addrs[rank], err)
+	}
+	ep := newTCPEndpoint(rank, size, streams)
+
+	expect := (size - 1) * streams
+	acceptErr := make(chan error, 1)
+	go func() {
+		acceptErr <- ep.acceptAll(l, expect)
+	}()
+
+	dialErr := make(chan error, 1)
+	go func() {
+		dialErr <- dialMesh(ep, rank, streams, addrs, cfg)
+	}()
+
+	deadline := time.NewTimer(cfg.dialTimeout)
+	defer deadline.Stop()
+	var firstErr error
+	for pending := 2; pending > 0; {
+		select {
+		case err := <-acceptErr:
+			pending--
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("accept: %w", err)
+			}
+		case err := <-dialErr:
+			pending--
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case <-deadline.C:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: mesh incomplete after %v", ErrRendezvous, cfg.dialTimeout)
+			}
+			pending = 0
+		}
+	}
+	_ = l.Close()
+	if firstErr != nil {
+		_ = ep.Close()
+		return nil, firstErr
+	}
+	return ep, nil
+}
+
+// dialMesh connects this rank's outgoing sockets, retrying while peers boot.
+func dialMesh(ep *tcpEndpoint, rank, streams int, addrs []string, cfg workerConfig) error {
+	deadline := time.Now().Add(cfg.dialTimeout)
+	for to, addr := range addrs {
+		if to == rank {
+			continue
+		}
+		for s := 0; s < streams; s++ {
+			conn, err := dialRetry(addr, deadline, cfg.retryDelay)
+			if err != nil {
+				return fmt.Errorf("%w: dial %d->%d: %v", ErrRendezvous, rank, to, err)
+			}
+			var hdr [8]byte
+			binary.BigEndian.PutUint32(hdr[0:], uint32(rank))
+			binary.BigEndian.PutUint32(hdr[4:], uint32(s))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				_ = conn.Close()
+				return fmt.Errorf("%w: handshake %d->%d: %v", ErrRendezvous, rank, to, err)
+			}
+			ep.setOut(to, s, conn)
+		}
+	}
+	return nil
+}
+
+func dialRetry(addr string, deadline time.Time, delay time.Duration) (net.Conn, error) {
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(delay)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("deadline before first attempt")
+	}
+	return nil, lastErr
+}
+
+// FreeAddrs reserves n distinct loopback TCP addresses by briefly binding
+// ephemeral ports. The usual caveat applies: the ports are released before
+// the workers re-bind them, so collisions are possible under heavy churn —
+// production deployments pass fixed, configured addresses instead.
+func FreeAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range listeners {
+			_ = l.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("reserve port %d: %w", i, err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, nil
+}

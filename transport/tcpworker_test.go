@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFreeAddrs(t *testing.T) {
+	addrs, err := FreeAddrs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 4 {
+		t.Fatalf("got %d addrs", len(addrs))
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+// startWorkers rendezvouses `size` workers concurrently (each as its own
+// "process" here, but the code path is identical across real processes).
+func startWorkers(t *testing.T, size, streams int) []Endpoint {
+	t.Helper()
+	addrs, err := FreeAddrs(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]Endpoint, size)
+	var wg sync.WaitGroup
+	errc := make(chan error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := NewTCPWorker(r, streams, addrs, WithDialTimeout(10*time.Second))
+			if err != nil {
+				errc <- fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			eps[r] = ep
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			if ep != nil {
+				_ = ep.Close()
+			}
+		}
+	})
+	return eps
+}
+
+func TestTCPWorkerMesh(t *testing.T) {
+	const size, streams = 3, 2
+	eps := startWorkers(t, size, streams)
+	// Full all-to-all exchange on every stream.
+	var wg sync.WaitGroup
+	errc := make(chan error, size*size*streams*2)
+	for r := 0; r < size; r++ {
+		for peer := 0; peer < size; peer++ {
+			if peer == r {
+				continue
+			}
+			for s := 0; s < streams; s++ {
+				wg.Add(2)
+				go func(r, peer, s int) {
+					defer wg.Done()
+					msg := []byte(fmt.Sprintf("%d->%d/%d", r, peer, s))
+					if err := eps[r].Send(peer, s, msg); err != nil {
+						errc <- err
+					}
+				}(r, peer, s)
+				go func(r, peer, s int) {
+					defer wg.Done()
+					got, err := eps[r].Recv(peer, s)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want := fmt.Sprintf("%d->%d/%d", peer, r, s)
+					if string(got) != want {
+						errc <- fmt.Errorf("got %q want %q", got, want)
+					}
+				}(r, peer, s)
+			}
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// Workers that start at staggered times must still rendezvous: the dialers
+// retry until peers bind.
+func TestTCPWorkerStaggeredStart(t *testing.T) {
+	addrs, err := FreeAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ep0, ep1 Endpoint
+	var wg sync.WaitGroup
+	errc := make(chan error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		ep0, err = NewTCPWorker(0, 1, addrs, WithDialTimeout(10*time.Second))
+		if err != nil {
+			errc <- err
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // rank 1 boots late
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var err error
+		ep1, err = NewTCPWorker(1, 1, addrs, WithDialTimeout(10*time.Second))
+		if err != nil {
+			errc <- err
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	defer func() { _ = ep0.Close(); _ = ep1.Close() }()
+	if err := ep0.Send(1, 0, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ep1.Recv(0, 0)
+	if err != nil || string(got) != "late" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+}
+
+func TestTCPWorkerValidation(t *testing.T) {
+	if _, err := NewTCPWorker(0, 1, nil); !errors.Is(err, ErrBadRank) {
+		t.Errorf("empty addrs error = %v", err)
+	}
+	if _, err := NewTCPWorker(5, 1, []string{"a", "b"}); !errors.Is(err, ErrBadRank) {
+		t.Errorf("bad rank error = %v", err)
+	}
+	if _, err := NewTCPWorker(0, 0, []string{"a", "b"}); !errors.Is(err, ErrBadStream) {
+		t.Errorf("bad streams error = %v", err)
+	}
+}
+
+// A worker whose peers never appear must fail with ErrRendezvous, not hang.
+func TestTCPWorkerTimeout(t *testing.T) {
+	addrs, err := FreeAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = NewTCPWorker(0, 1, addrs, WithDialTimeout(400*time.Millisecond))
+	if !errors.Is(err, ErrRendezvous) {
+		t.Fatalf("error = %v, want ErrRendezvous", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}

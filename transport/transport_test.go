@@ -1,0 +1,415 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/netmodel"
+)
+
+// networkFactory lets every behavioural test run against both transports.
+type networkFactory struct {
+	name string
+	make func(size, streams int) (Network, error)
+}
+
+func factories() []networkFactory {
+	return []networkFactory{
+		{name: "mem", make: func(size, streams int) (Network, error) { return NewMem(size, streams) }},
+		{name: "tcp", make: func(size, streams int) (Network, error) { return NewTCP(size, streams) }},
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			if _, err := f.make(0, 1); !errors.Is(err, ErrBadRank) {
+				t.Errorf("size 0 error = %v, want ErrBadRank", err)
+			}
+			if _, err := f.make(2, 0); !errors.Is(err, ErrBadStream) {
+				t.Errorf("streams 0 error = %v, want ErrBadStream", err)
+			}
+		})
+	}
+}
+
+func TestPointToPoint(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 1)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			a, _ := n.Endpoint(0)
+			b, _ := n.Endpoint(1)
+
+			want := []byte("gradient chunk")
+			done := make(chan error, 1)
+			go func() { done <- a.Send(1, 0, want) }()
+			got, err := b.Recv(0, 0)
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("payload = %q, want %q", got, want)
+			}
+			if err := <-done; err != nil {
+				t.Errorf("Send: %v", err)
+			}
+		})
+	}
+}
+
+func TestFIFOPerStream(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 1)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			a, _ := n.Endpoint(0)
+			b, _ := n.Endpoint(1)
+
+			const count = 100
+			go func() {
+				for i := 0; i < count; i++ {
+					_ = a.Send(1, 0, []byte{byte(i)})
+				}
+			}()
+			for i := 0; i < count; i++ {
+				got, err := b.Recv(0, 0)
+				if err != nil {
+					t.Fatalf("Recv %d: %v", i, err)
+				}
+				if got[0] != byte(i) {
+					t.Fatalf("message %d out of order: got %d", i, got[0])
+				}
+			}
+		})
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 4)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			a, _ := n.Endpoint(0)
+			b, _ := n.Endpoint(1)
+
+			// Send on stream 3 first, then stream 0; receive stream 0 first.
+			// If streams shared a channel this would deadlock or misdeliver.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = a.Send(1, 3, []byte("three"))
+				_ = a.Send(1, 0, []byte("zero"))
+			}()
+			got0, err := b.Recv(0, 0)
+			if err != nil {
+				t.Fatalf("Recv stream 0: %v", err)
+			}
+			got3, err := b.Recv(0, 3)
+			if err != nil {
+				t.Fatalf("Recv stream 3: %v", err)
+			}
+			if string(got0) != "zero" || string(got3) != "three" {
+				t.Errorf("stream demux wrong: %q / %q", got0, got3)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestConcurrentStreamsAllToAll(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			const size, streams, msgs = 4, 3, 8
+			n, err := f.make(size, streams)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+
+			var wg sync.WaitGroup
+			errc := make(chan error, size*size*streams*2)
+			for r := 0; r < size; r++ {
+				ep, err := n.Endpoint(r)
+				if err != nil {
+					t.Fatalf("Endpoint(%d): %v", r, err)
+				}
+				for peer := 0; peer < size; peer++ {
+					if peer == r {
+						continue
+					}
+					for s := 0; s < streams; s++ {
+						wg.Add(2)
+						go func(ep Endpoint, peer, s int) {
+							defer wg.Done()
+							for i := 0; i < msgs; i++ {
+								msg := []byte(fmt.Sprintf("%d->%d/%d#%d", ep.Rank(), peer, s, i))
+								if err := ep.Send(peer, s, msg); err != nil {
+									errc <- err
+									return
+								}
+							}
+						}(ep, peer, s)
+						go func(ep Endpoint, peer, s int) {
+							defer wg.Done()
+							for i := 0; i < msgs; i++ {
+								got, err := ep.Recv(peer, s)
+								if err != nil {
+									errc <- err
+									return
+								}
+								want := fmt.Sprintf("%d->%d/%d#%d", peer, ep.Rank(), s, i)
+								if string(got) != want {
+									errc <- fmt.Errorf("got %q, want %q", got, want)
+									return
+								}
+							}
+						}(ep, peer, s)
+					}
+				}
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 2)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			ep, _ := n.Endpoint(0)
+
+			if err := ep.Send(5, 0, nil); !errors.Is(err, ErrBadRank) {
+				t.Errorf("Send bad rank = %v", err)
+			}
+			if err := ep.Send(1, 9, nil); !errors.Is(err, ErrBadStream) {
+				t.Errorf("Send bad stream = %v", err)
+			}
+			if _, err := ep.Recv(-1, 0); !errors.Is(err, ErrBadRank) {
+				t.Errorf("Recv bad rank = %v", err)
+			}
+			if _, err := ep.Recv(1, -1); !errors.Is(err, ErrBadStream) {
+				t.Errorf("Recv bad stream = %v", err)
+			}
+			if _, err := n.Endpoint(7); !errors.Is(err, ErrBadRank) {
+				t.Errorf("Endpoint bad rank = %v", err)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 1)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			ep, _ := n.Endpoint(0)
+			done := make(chan error, 1)
+			go func() {
+				_, err := ep.Recv(1, 0)
+				done <- err
+			}()
+			if err := n.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if err := <-done; !errors.Is(err, ErrClosed) {
+				t.Errorf("Recv after close = %v, want ErrClosed", err)
+			}
+			// Close is idempotent.
+			if err := n.Close(); err != nil {
+				t.Errorf("second Close: %v", err)
+			}
+			if _, err := n.Endpoint(0); !errors.Is(err, ErrClosed) {
+				t.Errorf("Endpoint after close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(2, 1)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			a, _ := n.Endpoint(0)
+			b, _ := n.Endpoint(1)
+
+			payload := make([]byte, 1<<20) // 1 MiB, typical all-reduce unit
+			for i := range payload {
+				payload[i] = byte(i * 31)
+			}
+			go func() { _ = a.Send(1, 0, payload) }()
+			got, err := b.Recv(0, 0)
+			if err != nil {
+				t.Fatalf("Recv: %v", err)
+			}
+			if len(got) != len(payload) {
+				t.Fatalf("len = %d, want %d", len(got), len(payload))
+			}
+			for i := range got {
+				if got[i] != byte(i*31) {
+					t.Fatalf("corruption at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestTCPSelfSendRejected(t *testing.T) {
+	n, err := NewTCP(2, 1)
+	if err != nil {
+		t.Fatalf("NewTCP: %v", err)
+	}
+	defer func() { _ = n.Close() }()
+	ep, _ := n.Endpoint(0)
+	if err := ep.Send(0, 0, []byte("x")); !errors.Is(err, ErrBadRank) {
+		t.Errorf("self send = %v, want ErrBadRank", err)
+	}
+}
+
+func TestMemSelfSendLoopback(t *testing.T) {
+	// The in-memory transport supports loopback sends, which the collectives
+	// use for the degenerate single-worker case.
+	n, err := NewMem(1, 1)
+	if err != nil {
+		t.Fatalf("NewMem: %v", err)
+	}
+	defer func() { _ = n.Close() }()
+	ep, _ := n.Endpoint(0)
+	if err := ep.Send(0, 0, []byte("self")); err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	got, err := ep.Recv(0, 0)
+	if err != nil || string(got) != "self" {
+		t.Fatalf("self recv = %q, %v", got, err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			n, err := f.make(3, 2)
+			if err != nil {
+				t.Fatalf("make: %v", err)
+			}
+			defer func() { _ = n.Close() }()
+			if n.Size() != 3 || n.Streams() != 2 {
+				t.Errorf("network accessors = (%d,%d)", n.Size(), n.Streams())
+			}
+			ep, _ := n.Endpoint(2)
+			if ep.Rank() != 2 || ep.Size() != 3 || ep.Streams() != 2 {
+				t.Errorf("endpoint accessors = (%d,%d,%d)", ep.Rank(), ep.Size(), ep.Streams())
+			}
+		})
+	}
+}
+
+// A modelled link must reproduce the paper's live behaviour: a payload on
+// one stream drains at the single-stream rate, while payloads on separate
+// streams drain concurrently — so two streams move two payloads in roughly
+// the time one stream moves one.
+func TestMemModeledLink(t *testing.T) {
+	link := netmodel.Link{
+		Kind:            netmodel.TCP,
+		CapacityGbps:    0.8, // 100 MB/s line rate
+		SingleStreamEff: 0.5, // one stream drives 50 MB/s
+		MaxUtilization:  1,
+	}
+	const payload = 2 << 20 // 2 MiB -> ~40ms at 50 MB/s
+
+	measure := func() (serial, concurrent time.Duration) {
+		// Single stream, two payloads back to back: ~80ms.
+		n1, err := NewMem(2, 1, WithModeledLink(link))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = n1.Close() }()
+		a1, _ := n1.Endpoint(0)
+		b1, _ := n1.Endpoint(1)
+		start := time.Now()
+		go func() {
+			_ = a1.Send(1, 0, make([]byte, payload))
+			_ = a1.Send(1, 0, make([]byte, payload))
+		}()
+		for i := 0; i < 2; i++ {
+			if _, err := b1.Recv(0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		serial = time.Since(start)
+
+		// Two streams, one payload each, concurrently: ~40ms.
+		n2, err := NewMem(2, 2, WithModeledLink(link))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = n2.Close() }()
+		a2, _ := n2.Endpoint(0)
+		b2, _ := n2.Endpoint(1)
+		start = time.Now()
+		var wg sync.WaitGroup
+		for s := 0; s < 2; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				_ = a2.Send(1, s, make([]byte, payload))
+			}(s)
+		}
+		for s := 0; s < 2; s++ {
+			if _, err := b2.Recv(0, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Wait()
+		concurrent = time.Since(start)
+		return serial, concurrent
+	}
+
+	// Wall-clock ratios are sensitive to host load (go test runs packages
+	// in parallel), so accept the best of a few attempts.
+	var serial, concurrent time.Duration
+	ok := false
+	for attempt := 0; attempt < 4 && !ok; attempt++ {
+		serial, concurrent = measure()
+		ok = serial >= 60*time.Millisecond && serial.Seconds()/concurrent.Seconds() >= 1.4
+	}
+	if serial < 60*time.Millisecond {
+		t.Errorf("serial transfer %v, want >= ~80ms (throttled)", serial)
+	}
+	if ratio := serial.Seconds() / concurrent.Seconds(); !ok {
+		t.Errorf("2-stream speedup = %.2fx (serial %v vs concurrent %v), want >= 1.4x",
+			ratio, serial, concurrent)
+	}
+}
+
+func TestMemModeledLinkValidation(t *testing.T) {
+	if _, err := NewMem(2, 1, WithModeledLink(netmodel.Link{})); err == nil {
+		t.Error("invalid modelled link must be rejected")
+	}
+}
