@@ -1,0 +1,32 @@
+# Tier-1+ verification for the live communication path.
+#
+# `make ci` is the check gate for changes touching the hot path: it runs the
+# tier-1 verify (build + full test suite), vet, the race detector over the
+# packages that exercise the transport ownership contract, and a smoke run of
+# the live/codec microbenchmarks (1 iteration — catches benchmark bit-rot, not
+# performance).
+
+GO ?= go
+
+.PHONY: ci build test vet race bench-smoke bench
+
+ci: vet build test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/...
+
+bench-smoke:
+	$(GO) test -run XXX -bench 'Live|Codec' -benchtime 1x .
+
+# Full live-path benchmark numbers (the ones recorded in BENCH_pr1.json).
+bench:
+	$(GO) test -run XXX -bench 'Live|Codec' -benchtime 200x .

@@ -300,7 +300,14 @@ func (e *PSEngine) serveResult(id int, result []float32) {
 	e.workerReceive(id, result)
 }
 
-// sendLoop drains the outbox until the engine stops.
+// sendLoop drains the outbox until the engine stops. On stop it first
+// flushes every queued message: this rank's worker finishing (and Closing)
+// does not mean its *server* shard's pull responses were delivered, and
+// peers still block on them. Every response of the final iteration is
+// enqueued before the local WaitIteration returns (serveResult enqueues
+// remote sends before the local workerReceive that releases the waiter),
+// so draining to empty at stop time loses nothing and never waits for new
+// work.
 func (e *PSEngine) sendLoop() {
 	defer e.senderWG.Done()
 	for {
@@ -311,7 +318,16 @@ func (e *PSEngine) sendLoop() {
 				return
 			}
 		case <-e.stopped:
-			return
+			for {
+				select {
+				case msg := <-e.outbox:
+					if err := e.comm.Send(msg.to, msg.stream, msg.data); err != nil {
+						return // transport closing; peers are gone
+					}
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -417,8 +433,9 @@ func (e *PSEngine) WaitIteration() error {
 	return nil
 }
 
-// Close shuts the engine down; the sender goroutine exits immediately. The
-// caller should close the transport to release the reader goroutines.
+// Close shuts the engine down; the sender goroutine flushes any still-queued
+// pull responses (peers may be waiting on them) and exits. The caller should
+// close the transport to release the reader goroutines.
 func (e *PSEngine) Close() error {
 	e.stopOnce.Do(func() { close(e.stopped) })
 	if e.started {

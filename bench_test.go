@@ -249,7 +249,11 @@ func BenchmarkAutoTune(b *testing.B) {
 // --- Live communication-path microbenchmarks ---
 
 // BenchmarkRingAllReduceLive measures the real ring all-reduce over the
-// in-process transport.
+// in-process transport. One persistent goroutine per rank loops b.N
+// iterations — the ring is self-synchronizing (every step's receive depends
+// on the peer's send, with FIFO matching per pair), so iteration i+1 cannot
+// overtake iteration i and the harness adds no per-iteration allocations,
+// making allocs/op reflect the collective layer's own steady state.
 func BenchmarkRingAllReduceLive(b *testing.B) {
 	for _, elems := range []int{1 << 10, 1 << 16, 1 << 20} {
 		b.Run(fmt.Sprintf("4ranks/%delems", elems), func(b *testing.B) {
@@ -269,20 +273,22 @@ func BenchmarkRingAllReduceLive(b *testing.B) {
 				datas[r] = make([]float32, elems)
 			}
 			b.SetBytes(int64(elems) * 4)
+			b.ReportAllocs()
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for r := 0; r < 4; r++ {
-					wg.Add(1)
-					go func(r int) {
-						defer wg.Done()
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
 						if err := collective.RingAllReduce(comms[r], 0, datas[r], tensor.OpSum); err != nil {
 							b.Error(err)
+							return
 						}
-					}(r)
-				}
-				wg.Wait()
+					}
+				}(r)
 			}
+			wg.Wait()
 		})
 	}
 }
@@ -324,29 +330,35 @@ func BenchmarkEngineIterationLive(b *testing.B) {
 				grads[r] = tensor.Filled(1, 1<<18)
 			}
 			b.SetBytes(1 << 20)
+			b.ReportAllocs()
 			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for r := 0; r < workers; r++ {
-					wg.Add(1)
-					go func(r int) {
-						defer wg.Done()
+			// One persistent goroutine per worker; iterations are separated
+			// by the engine's own collective agreement, so no outer barrier
+			// (or its allocations) is needed per iteration.
+			var wg sync.WaitGroup
+			for r := 0; r < workers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
 						if err := engines[r].PushGradient("w", grads[r]); err != nil {
 							b.Error(err)
 							return
 						}
 						if err := engines[r].WaitIteration(); err != nil {
 							b.Error(err)
+							return
 						}
-					}(r)
-				}
-				wg.Wait()
+					}
+				}(r)
 			}
+			wg.Wait()
 		})
 	}
 }
 
-// BenchmarkFP16Codec measures the gradient compression codec.
+// BenchmarkFP16Codec measures the gradient compression codec round-trip the
+// way the collectives use it: encoding into a reused buffer.
 func BenchmarkFP16Codec(b *testing.B) {
 	src := make([]float32, 1<<16)
 	for i := range src {
@@ -354,11 +366,41 @@ func BenchmarkFP16Codec(b *testing.B) {
 	}
 	dst := make([]float32, len(src))
 	codec := compress.FP16{}
+	var buf []byte
 	b.SetBytes(int64(len(src)) * 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf := codec.Encode(src)
+		buf = codec.EncodeTo(buf[:0], src)
 		if err := codec.Decode(dst, buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCodecEncodeTo measures the append-style encode path alone for the
+// wire codecs, steady state (reused destination buffer).
+func BenchmarkCodecEncodeTo(b *testing.B) {
+	src := make([]float32, 1<<16)
+	for i := range src {
+		src[i] = float32(i%1000)*0.001 - 0.5
+	}
+	for _, tc := range []struct {
+		name  string
+		codec compress.Codec
+	}{
+		{"fp32", compress.FP32{}},
+		{"fp16", compress.FP16{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var buf []byte
+			b.SetBytes(int64(len(src)) * 4)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = tc.codec.EncodeTo(buf[:0], src)
+			}
+			if len(buf) == 0 {
+				b.Fatal("empty encoding")
+			}
+		})
 	}
 }

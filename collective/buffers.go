@@ -1,0 +1,53 @@
+package collective
+
+import "sync"
+
+// Hot-path scratch pools. A ring step needs one wire buffer (the encoded
+// chunk) and one fp32 scratch (the decoded incoming chunk). Instead of a
+// fresh allocation per step, operations draw both from process-wide pools and
+// recycle the buffers they receive: because Send transfers payload ownership
+// to the receiver (see the transport.Endpoint contract), the buffer received
+// on step s is re-encoded and sent on step s+1, so a steady-state ring
+// circulates a fixed set of buffers and allocates nothing.
+//
+// The pools hold boxed slices (*[]byte / *[]float32) so that recycling a
+// buffer through the pool does not itself allocate an interface box per
+// round trip.
+
+var wirePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getWire returns a boxed wire buffer; the slice inside may be nil or hold
+// capacity from a previous operation. Callers use it append-style
+// (EncodeTo(buf[:0], …)) and put the box back — usually carrying a different
+// slice than it arrived with, which is fine — via putWire.
+func getWire() *[]byte { return wirePool.Get().(*[]byte) }
+
+func putWire(bp *[]byte) {
+	*bp = (*bp)[:0]
+	wirePool.Put(bp)
+}
+
+// recycleWire returns a received payload to the pool once the receiver is
+// done with it — the receiver owns payloads per the transport contract.
+func recycleWire(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bp := wirePool.Get().(*[]byte)
+	*bp = b[:0]
+	wirePool.Put(bp)
+}
+
+var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getF32 returns a boxed float32 scratch slice with length exactly n.
+func getF32(n int) *[]float32 {
+	fp := f32Pool.Get().(*[]float32)
+	if cap(*fp) < n {
+		*fp = make([]float32, n)
+	}
+	*fp = (*fp)[:n]
+	return fp
+}
+
+func putF32(fp *[]float32) { f32Pool.Put(fp) }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 
 	"aiacc/compress"
+	"aiacc/internal/sendpool"
+	"aiacc/internal/wire"
 	"aiacc/mpi"
 	"aiacc/tensor"
 )
@@ -47,13 +49,57 @@ func min(a, b int) int {
 	return b
 }
 
-// sendAsync issues a send on a goroutine and returns a channel carrying its
-// error, letting the caller overlap the send with a blocking receive — the
-// standard deadlock-free formulation of a ring step.
-func sendAsync(c *mpi.Comm, to, stream int, data []byte) <-chan error {
-	errc := make(chan error, 1)
-	go func() { errc <- c.Send(to, stream, data) }()
-	return errc
+// ringOp bundles the per-operation resources of a chunked ring collective:
+// one pooled sender goroutine (overlapping each send with the blocking
+// receive — the standard deadlock-free formulation of a ring step) and one
+// pooled wire buffer. The wire buffer is used append-style: encode into it,
+// send it (ownership transfers to the receiver), then adopt the payload
+// received on the same step as the next step's wire buffer. In steady state
+// the ring circulates a fixed set of buffers and no step allocates.
+type ringOp struct {
+	async    *sendpool.Async
+	inflight bool
+	box      *[]byte
+	buf      []byte // owned wire buffer for the next encode
+}
+
+// beginRing returns the op by value so it stays on the caller's stack; a
+// pointer result would heap-allocate one ringOp per collective call.
+func beginRing() ringOp {
+	box := getWire()
+	return ringOp{async: sendpool.Acquire(), box: box, buf: *box}
+}
+
+// send dispatches the op's current wire buffer, whose ownership transfers
+// immediately; the caller must not touch it until adopt installs a new one.
+func (r *ringOp) send(c *mpi.Comm, to, stream int) {
+	r.async.Send(c, to, stream, r.buf)
+	r.inflight = true
+	r.buf = nil
+}
+
+// wait blocks for the in-flight send's result.
+func (r *ringOp) wait() error {
+	err := r.async.Wait()
+	r.inflight = false
+	return err
+}
+
+// adopt takes ownership of a fully-consumed received payload as the next
+// send's encode buffer.
+func (r *ringOp) adopt(payload []byte) { r.buf = payload }
+
+// end releases the op's resources on every exit path. A sender abandoned
+// with a send still in flight is drained in the background before it is
+// pooled again.
+func (r *ringOp) end() {
+	if r.inflight {
+		sendpool.Abandon(r.async)
+	} else {
+		sendpool.Release(r.async)
+	}
+	*r.box = r.buf
+	putWire(r.box)
 }
 
 // RingAllReduce performs an in-place ring all-reduce of data across all
@@ -82,33 +128,37 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
 
+	r := beginRing()
+	defer r.end()
+	// One decode scratch of max-chunk size serves every step.
+	fp := getF32(len(data)/n + 1)
+	defer putF32(fp)
+
 	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
 	// contributions into chunk (rank-s-1+n)%n.
-	tmp := make([]float32, 0)
 	for step := 0; step < n-1; step++ {
 		sendIdx := (rank - step + n) % n
 		recvIdx := (rank - step - 1 + 2*n) % n
 		sLo, sHi := chunkBounds(len(data), n, sendIdx)
 		rLo, rHi := chunkBounds(len(data), n, recvIdx)
 
-		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		r.buf = codec.EncodeTo(r.buf[:0], data[sLo:sHi])
+		r.send(c, next, stream)
 		payload, err := c.Recv(prev, stream)
 		if err != nil {
 			return fmt.Errorf("ring all-reduce recv step %d: %w", step, err)
 		}
-		if cap(tmp) < rHi-rLo {
-			tmp = make([]float32, rHi-rLo)
-		}
-		tmp = tmp[:rHi-rLo]
+		tmp := (*fp)[:rHi-rLo]
 		if err := codec.Decode(tmp, payload); err != nil {
 			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
 		}
-		if err := op.Apply(data[rLo:rHi], tmp); err != nil {
+		if err := op.ApplyParallel(data[rLo:rHi], tmp); err != nil {
 			return fmt.Errorf("ring all-reduce reduce step %d: %w", step, err)
 		}
-		if err := <-errc; err != nil {
+		if err := r.wait(); err != nil {
 			return fmt.Errorf("ring all-reduce send step %d: %w", step, err)
 		}
+		r.adopt(payload)
 	}
 
 	// All-gather: circulate the fully reduced chunks.
@@ -118,7 +168,8 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		sLo, sHi := chunkBounds(len(data), n, sendIdx)
 		rLo, rHi := chunkBounds(len(data), n, recvIdx)
 
-		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		r.buf = codec.EncodeTo(r.buf[:0], data[sLo:sHi])
+		r.send(c, next, stream)
 		payload, err := c.Recv(prev, stream)
 		if err != nil {
 			return fmt.Errorf("ring all-gather recv step %d: %w", step, err)
@@ -126,9 +177,10 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		if err := codec.Decode(data[rLo:rHi], payload); err != nil {
 			return fmt.Errorf("ring all-gather step %d: %w", step, err)
 		}
-		if err := <-errc; err != nil {
+		if err := r.wait(); err != nil {
 			return fmt.Errorf("ring all-gather send step %d: %w", step, err)
 		}
+		r.adopt(payload)
 	}
 	return nil
 }
@@ -158,7 +210,9 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 			if err != nil {
 				return fmt.Errorf("broadcast recv: %w", err)
 			}
-			if err := codec.Decode(data, payload); err != nil {
+			err = codec.Decode(data, payload)
+			recycleWire(payload)
+			if err != nil {
 				return fmt.Errorf("broadcast: %w", err)
 			}
 			break
@@ -168,7 +222,13 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		child := vrank + mask
 		if child < n {
-			if err := c.Send((child+root)%n, stream, codec.Encode(data)); err != nil {
+			// Each child gets its own buffer: the payload's ownership moves
+			// to the child, which recycles it through the shared pool.
+			bp := getWire()
+			buf := codec.EncodeTo((*bp)[:0], data)
+			*bp = nil
+			putWire(bp)
+			if err := c.Send((child+root)%n, stream, buf); err != nil {
 				return fmt.Errorf("broadcast send: %w", err)
 			}
 		}
@@ -178,7 +238,8 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 
 // AllGather collects each rank's input and returns the concatenation ordered
 // by rank. Inputs may have different lengths. Implemented as a ring pass:
-// n-1 steps, each forwarding the previously received block.
+// n-1 steps, each forwarding the previously received block. The returned
+// blocks are owned by the caller and alias nothing.
 func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 	n := c.Size()
 	out := make([][]byte, n)
@@ -190,19 +251,40 @@ func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 	}
 	next := (c.Rank() + 1) % n
 	prev := (c.Rank() - 1 + n) % n
-	sendBlock := myCopy
+
+	async := sendpool.Acquire()
+	inflight := false
+	defer func() {
+		if inflight {
+			sendpool.Abandon(async)
+		} else {
+			sendpool.Release(async)
+		}
+	}()
+
+	// The first send must be a copy: `mine` stays owned by the caller while
+	// Send transfers payload ownership to the receiver.
+	sendBlock := append([]byte(nil), mine...)
 	for step := 0; step < n-1; step++ {
-		errc := sendAsync(c, next, stream, sendBlock)
+		async.Send(c, next, stream, sendBlock)
+		inflight = true
 		payload, err := c.Recv(prev, stream)
 		if err != nil {
 			return nil, fmt.Errorf("all-gather recv step %d: %w", step, err)
 		}
-		if err := <-errc; err != nil {
+		if err := async.Wait(); err != nil {
 			return nil, fmt.Errorf("all-gather send step %d: %w", step, err)
 		}
+		inflight = false
 		origin := (c.Rank() - step - 1 + 2*n) % n
-		out[origin] = payload
-		sendBlock = payload
+		if step < n-2 {
+			// The payload travels on; the caller keeps a private copy.
+			out[origin] = append([]byte(nil), payload...)
+			sendBlock = payload
+		} else {
+			// Final block is not forwarded: keep it without copying.
+			out[origin] = payload
+		}
 	}
 	return out, nil
 }
@@ -225,32 +307,37 @@ func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 	// on the whole vector beats chunking. Because AND is idempotent, n-1
 	// circulate-and-AND steps suffice: after step s each rank holds the AND
 	// of its own and its s+1 upstream neighbours' vectors.
-	buf := make([]byte, 8*len(bits))
-	encodeU64(buf, bits)
+	//
+	// Double buffering through payload adoption: the vector is encoded into
+	// the op's wire buffer, the buffer is sent away (the receiver owns it),
+	// and the payload received on the same step — already folded into bits —
+	// becomes the next step's wire buffer. No copies, no per-step allocation.
+	r := beginRing()
+	defer r.end()
+	size := 8 * len(bits)
+	r.buf = wire.Grow(r.buf[:0], size)
+	wire.PutUint64s(r.buf, bits)
 	for step := 0; step < n-1; step++ {
-		errc := sendAsync(c, next, stream, append([]byte(nil), buf...))
+		r.send(c, next, stream)
 		payload, err := c.Recv(prev, stream)
 		if err != nil {
 			return fmt.Errorf("bit all-reduce recv step %d: %w", step, err)
 		}
-		if len(payload) != len(buf) {
-			return fmt.Errorf("%w: got %d bytes, want %d", ErrShortBuffer, len(payload), len(buf))
+		if len(payload) != size {
+			return fmt.Errorf("%w: got %d bytes, want %d", ErrShortBuffer, len(payload), size)
 		}
 		for i := range bits {
 			bits[i] &= binary.LittleEndian.Uint64(payload[8*i:])
 		}
-		encodeU64(buf, bits)
-		if err := <-errc; err != nil {
+		if err := r.wait(); err != nil {
 			return fmt.Errorf("bit all-reduce send step %d: %w", step, err)
+		}
+		r.adopt(payload)
+		if step < n-2 {
+			wire.PutUint64s(r.buf, bits)
 		}
 	}
 	return nil
-}
-
-func encodeU64(dst []byte, src []uint64) {
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(dst[8*i:], v)
-	}
 }
 
 // HierarchicalAllReduce is the paper's "tree all-reduce" (§V-B): a ring

@@ -36,7 +36,10 @@ func ReduceScatterCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	}
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
-	tmp := make([]float32, 0)
+	r := beginRing()
+	defer r.end()
+	fp := getF32(len(data)/n + 1)
+	defer putF32(fp)
 	// Offset the chunk rotation by one relative to RingAllReduce so that
 	// after n-1 steps each rank holds the full reduction of its *own*
 	// chunk (the conventional reduce-scatter contract).
@@ -46,24 +49,23 @@ func ReduceScatterCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		sLo, sHi := chunkBounds(len(data), n, sendIdx)
 		rLo, rHi := chunkBounds(len(data), n, recvIdx)
 
-		errc := sendAsync(c, next, stream, codec.Encode(data[sLo:sHi]))
+		r.buf = codec.EncodeTo(r.buf[:0], data[sLo:sHi])
+		r.send(c, next, stream)
 		payload, err := c.Recv(prev, stream)
 		if err != nil {
 			return nil, fmt.Errorf("reduce-scatter recv step %d: %w", step, err)
 		}
-		if cap(tmp) < rHi-rLo {
-			tmp = make([]float32, rHi-rLo)
-		}
-		tmp = tmp[:rHi-rLo]
+		tmp := (*fp)[:rHi-rLo]
 		if err := codec.Decode(tmp, payload); err != nil {
 			return nil, fmt.Errorf("reduce-scatter step %d: %w", step, err)
 		}
-		if err := op.Apply(data[rLo:rHi], tmp); err != nil {
+		if err := op.ApplyParallel(data[rLo:rHi], tmp); err != nil {
 			return nil, fmt.Errorf("reduce-scatter reduce step %d: %w", step, err)
 		}
-		if err := <-errc; err != nil {
+		if err := r.wait(); err != nil {
 			return nil, fmt.Errorf("reduce-scatter send step %d: %w", step, err)
 		}
+		r.adopt(payload)
 	}
 	return data[myLo:myHi], nil
 }
@@ -105,6 +107,7 @@ func Scatter(c *mpi.Comm, stream, root int, chunks [][]float32) ([]float32, erro
 	if err := (compress.FP32{}).Decode(mine, payload); err != nil {
 		return nil, err
 	}
+	recycleWire(payload)
 	return mine, nil
 }
 
@@ -142,6 +145,7 @@ func Gather(c *mpi.Comm, stream, root int, mine []float32) ([][]float32, error) 
 		if err := codec.Decode(vals, payload); err != nil {
 			return nil, err
 		}
+		recycleWire(payload)
 		out[r] = vals
 	}
 	return out, nil

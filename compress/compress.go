@@ -6,11 +6,10 @@
 package compress
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 
+	"aiacc/internal/wire"
 	"aiacc/tensor"
 )
 
@@ -21,8 +20,13 @@ var ErrCorrupt = errors.New("compress: corrupt payload")
 type Codec interface {
 	// Name identifies the codec.
 	Name() string
-	// Encode serializes src into a fresh buffer.
+	// Encode serializes src into a fresh buffer. It is equivalent to
+	// EncodeTo(nil, src).
 	Encode(src []float32) []byte
+	// EncodeTo appends the encoding of src to dst and returns the extended
+	// slice, reallocating only when dst lacks capacity — the allocation-free
+	// hot-path variant of Encode. Like append, the result may alias dst.
+	EncodeTo(dst []byte, src []float32) []byte
 	// Decode parses buf into dst; len(dst) elements must be encoded in buf.
 	Decode(dst []float32, buf []byte) error
 	// WireBytes returns the encoded size of n elements.
@@ -38,12 +42,14 @@ var _ Codec = FP32{}
 func (FP32) Name() string { return "fp32" }
 
 // Encode implements Codec.
-func (FP32) Encode(src []float32) []byte {
-	buf := make([]byte, 4*len(src))
-	for i, v := range src {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-	}
-	return buf
+func (c FP32) Encode(src []float32) []byte { return c.EncodeTo(nil, src) }
+
+// EncodeTo implements Codec: one bulk little-endian store.
+func (FP32) EncodeTo(dst []byte, src []float32) []byte {
+	n := len(dst)
+	dst = wire.Grow(dst, 4*len(src))
+	wire.PutFloat32s(dst[n:], src)
+	return dst
 }
 
 // Decode implements Codec.
@@ -51,9 +57,7 @@ func (FP32) Decode(dst []float32, buf []byte) error {
 	if len(buf) != 4*len(dst) {
 		return fmt.Errorf("%w: %d bytes for %d elements", ErrCorrupt, len(buf), len(dst))
 	}
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
-	}
+	wire.Float32s(dst, buf)
 	return nil
 }
 
@@ -71,10 +75,15 @@ var _ Codec = FP16{}
 func (FP16) Name() string { return "fp16" }
 
 // Encode implements Codec.
-func (FP16) Encode(src []float32) []byte {
-	buf := make([]byte, 2*len(src))
-	tensor.EncodeHalf(buf, src)
-	return buf
+func (c FP16) Encode(src []float32) []byte { return c.EncodeTo(nil, src) }
+
+// EncodeTo implements Codec via the bulk binary16 kernel (SWAR pair
+// conversion on little-endian builds, the tensor kernel elsewhere).
+func (FP16) EncodeTo(dst []byte, src []float32) []byte {
+	n := len(dst)
+	dst = wire.Grow(dst, 2*len(src))
+	wire.EncodeHalf(dst[n:], src)
+	return dst
 }
 
 // Decode implements Codec.

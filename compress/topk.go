@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"aiacc/internal/wire"
 )
 
 // TopK is a sparsifying codec in the spirit of Deep Gradient Compression
@@ -67,7 +69,11 @@ func (h *magHeap) Pop() interface{}   { panic("unused") }
 
 // Encode implements Codec. Wire format: uint32 element count, uint32 kept
 // count, then kept × (uint32 index, float32 value), indices ascending.
-func (t TopK) Encode(src []float32) []byte {
+func (t TopK) Encode(src []float32) []byte { return t.EncodeTo(nil, src) }
+
+// EncodeTo implements Codec. The top-k selection itself needs O(k) scratch
+// per call; only the output bytes append to dst.
+func (t TopK) EncodeTo(dst []byte, src []float32) []byte {
 	k := t.keep(len(src))
 	// Min-heap of size k over magnitudes: O(n log k), deterministic.
 	h := magHeap{mags: make([]float64, 0, k), idxs: make([]int, 0, k)}
@@ -95,19 +101,20 @@ func (t TopK) Encode(src []float32) []byte {
 	for _, i := range h.idxs {
 		selected[i] = true
 	}
-	buf := make([]byte, 8+8*k)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(len(src)))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(k))
-	pos := 8
+	start := len(dst)
+	dst = wire.Grow(dst, 8+8*k)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(src)))
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(k))
+	pos := start + 8
 	for i, keep := range selected {
 		if !keep {
 			continue
 		}
-		binary.LittleEndian.PutUint32(buf[pos:], uint32(i))
-		binary.LittleEndian.PutUint32(buf[pos+4:], math.Float32bits(src[i]))
+		binary.LittleEndian.PutUint32(dst[pos:], uint32(i))
+		binary.LittleEndian.PutUint32(dst[pos+4:], math.Float32bits(src[i]))
 		pos += 8
 	}
-	return buf[:pos]
+	return dst[:pos]
 }
 
 // Decode implements Codec: dst is zeroed and the transmitted values are

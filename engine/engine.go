@@ -431,8 +431,8 @@ func (e *Engine) resetIteration() {
 	e.session.Reset()
 	e.local.Reset()
 	e.mu.Lock()
-	e.data = make(map[int][]float32, len(e.grads))
-	e.remaining = make(map[int]int, len(e.grads))
+	clear(e.data)
+	clear(e.remaining)
 	e.stats.Iterations++
 	e.mu.Unlock()
 }
@@ -514,6 +514,20 @@ func (e *Engine) runIteration() error {
 	return e.pool.Wait()
 }
 
+// unitBufPool recycles the per-unit pack/unpack buffers across units and
+// iterations: at a fixed granularity the same capacities come around every
+// iteration, so the steady state allocates nothing.
+var unitBufPool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getUnitBuf(n int) *[]float32 {
+	bp := unitBufPool.Get().(*[]float32)
+	if cap(*bp) < n {
+		*bp = make([]float32, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
 // dispatch submits one unit to the stream pool. Round-robin submission
 // order is identical on every rank (units are generated in the same order),
 // so unit k lands on stream k mod Streams everywhere — the implicit
@@ -525,7 +539,9 @@ func (e *Engine) dispatch(u packing.Unit) error {
 			span.Arg("bytes", strconv.FormatInt(u.Bytes(), 10))
 			defer span.End()
 		}
-		buf := make([]float32, u.Elems)
+		bp := getUnitBuf(u.Elems)
+		defer unitBufPool.Put(bp)
+		buf := *bp
 		if err := packing.Gather(u, e.gradData, buf); err != nil {
 			return err
 		}

@@ -20,12 +20,13 @@
 package gradsync
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"aiacc/collective"
+	"aiacc/internal/wire"
 	"aiacc/mpi"
 )
 
@@ -225,6 +226,11 @@ func (v *SyncVector) andWords(src []uint64) error {
 // Coordinator agrees on the globally-ready gradient set. Agree consumes the
 // local vector's current state and returns the set of ids that every worker
 // has marked ready. All workers must call Agree collectively.
+//
+// The returned vector is owned by the coordinator and only valid until the
+// next Agree call on the same coordinator — implementations reuse it as
+// scratch so that agreement rounds allocate nothing in steady state. Callers
+// that need the result past the next round must copy it.
 type Coordinator interface {
 	Agree(local *SyncVector) (*SyncVector, error)
 }
@@ -233,8 +239,9 @@ type Coordinator interface {
 // operator on the packed bit vector. Cost is O(vector bytes) per rank per
 // round regardless of world size — no rank is a bottleneck.
 type Decentralized struct {
-	comm   *mpi.Comm
-	stream int
+	comm    *mpi.Comm
+	stream  int
+	scratch *SyncVector // result of the last Agree, reused across rounds
 }
 
 var _ Coordinator = (*Decentralized)(nil)
@@ -245,9 +252,15 @@ func NewDecentralized(comm *mpi.Comm, stream int) *Decentralized {
 	return &Decentralized{comm: comm, stream: stream}
 }
 
-// Agree implements Coordinator.
+// Agree implements Coordinator. The result aliases the coordinator's scratch
+// vector (see Coordinator); one agreement round performs zero heap
+// allocations in this layer after the first call.
 func (d *Decentralized) Agree(local *SyncVector) (*SyncVector, error) {
-	global := &SyncVector{bits: local.Words(), n: local.n}
+	if d.scratch == nil || d.scratch.n != local.n {
+		d.scratch = NewSyncVector(local.n)
+	}
+	global := d.scratch
+	copy(global.bits, local.bits)
 	if err := collective.AndAllReduceBits(d.comm, d.stream, global.bits); err != nil {
 		return nil, fmt.Errorf("decentralized agree: %w", err)
 	}
@@ -259,8 +272,10 @@ func (d *Decentralized) Agree(local *SyncVector) (*SyncVector, error) {
 // processes O(world size) messages per round — the bottleneck the paper
 // measured beyond ~128 GPUs (§III, §VIII-C).
 type Master struct {
-	comm   *mpi.Comm
-	stream int
+	comm    *mpi.Comm
+	stream  int
+	scratch *SyncVector // result of the last Agree, reused across rounds
+	words   []uint64    // decode scratch for gathered vectors
 }
 
 var _ Coordinator = (*Master)(nil)
@@ -270,9 +285,15 @@ func NewMaster(comm *mpi.Comm, stream int) *Master {
 	return &Master{comm: comm, stream: stream}
 }
 
-// Agree implements Coordinator.
+// Agree implements Coordinator. The result aliases the coordinator's scratch
+// vector (see Coordinator).
 func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
-	global := &SyncVector{bits: local.Words(), n: local.n}
+	if m.scratch == nil || m.scratch.n != local.n {
+		m.scratch = NewSyncVector(local.n)
+		m.words = make([]uint64, len(m.scratch.bits))
+	}
+	global := m.scratch
+	copy(global.bits, local.bits)
 	n := m.comm.Size()
 	if n == 1 {
 		return global, nil
@@ -284,11 +305,10 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 			if err != nil {
 				return nil, fmt.Errorf("master gather from %d: %w", from, err)
 			}
-			words, err := decodeWords(payload, len(global.bits))
-			if err != nil {
+			if err := decodeWordsInto(m.words, payload); err != nil {
 				return nil, err
 			}
-			if err := global.andWords(words); err != nil {
+			if err := global.andWords(m.words); err != nil {
 				return nil, err
 			}
 		}
@@ -307,31 +327,27 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("worker decision: %w", err)
 	}
-	words, err := decodeWords(payload, len(global.bits))
-	if err != nil {
+	if err := decodeWordsInto(global.bits, payload); err != nil {
 		return nil, err
 	}
-	copy(global.bits, words)
 	return global, nil
 }
 
+// encodeWords allocates a fresh wire buffer — ownership of a sent payload
+// transfers to the receiver (see transport), so the master's decision cannot
+// come from a reused scratch buffer.
 func encodeWords(words []uint64) []byte {
 	buf := make([]byte, 8*len(words))
-	for i, w := range words {
-		binary.LittleEndian.PutUint64(buf[8*i:], w)
-	}
+	wire.PutUint64s(buf, words)
 	return buf
 }
 
-func decodeWords(buf []byte, want int) ([]uint64, error) {
-	if len(buf) != 8*want {
-		return nil, fmt.Errorf("%w: got %d bytes, want %d", collective.ErrShortBuffer, len(buf), 8*want)
+func decodeWordsInto(dst []uint64, buf []byte) error {
+	if len(buf) != 8*len(dst) {
+		return fmt.Errorf("%w: got %d bytes, want %d", collective.ErrShortBuffer, len(buf), 8*len(dst))
 	}
-	words := make([]uint64, want)
-	for i := range words {
-		words[i] = binary.LittleEndian.Uint64(buf[8*i:])
-	}
-	return words, nil
+	wire.Uint64s(dst, buf)
+	return nil
 }
 
 // Session tracks agreement progress across one training iteration: repeated
@@ -354,14 +370,19 @@ func (s *Session) Update(local *SyncVector) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(global.bits) != len(s.agreed.bits) {
+		return nil, fmt.Errorf("gradsync: word count mismatch %d vs %d",
+			len(global.bits), len(s.agreed.bits))
+	}
+	// Walk the packed words directly: newly agreed bits are exactly those set
+	// globally but not yet recorded, so one AND-NOT per word replaces a
+	// per-gradient Ready/Set scan (and the id-slice ReadyIDs would allocate).
 	var fresh []int
-	for _, id := range global.ReadyIDs() {
-		if !s.agreed.Ready(id) {
-			fresh = append(fresh, id)
-			if err := s.agreed.Set(id); err != nil {
-				return nil, err
-			}
+	for i, w := range global.bits {
+		for d := w &^ s.agreed.bits[i]; d != 0; d &= d - 1 {
+			fresh = append(fresh, i*64+bits.TrailingZeros64(d))
 		}
+		s.agreed.bits[i] |= w
 	}
 	return fresh, nil
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"aiacc/internal/gradsync"
+	"aiacc/tensor"
 )
 
 // ErrBadGranularity indicates a non-positive granularity.
@@ -134,7 +135,7 @@ func Gather(u Unit, lookup func(id int) ([]float32, error), buf []float32) error
 			return fmt.Errorf("%w: gradient %d span [%d,%d) of %d",
 				ErrFragmentRange, f.GradID, f.Offset, f.Offset+f.Elems, len(src))
 		}
-		copy(buf[pos:pos+f.Elems], src[f.Offset:f.Offset+f.Elems])
+		tensor.CopyParallel(buf[pos:pos+f.Elems], src[f.Offset:f.Offset+f.Elems])
 		pos += f.Elems
 	}
 	return nil
@@ -156,7 +157,7 @@ func Scatter(u Unit, lookup func(id int) ([]float32, error), buf []float32) erro
 			return fmt.Errorf("%w: gradient %d span [%d,%d) of %d",
 				ErrFragmentRange, f.GradID, f.Offset, f.Offset+f.Elems, len(dst))
 		}
-		copy(dst[f.Offset:f.Offset+f.Elems], buf[pos:pos+f.Elems])
+		tensor.CopyParallel(dst[f.Offset:f.Offset+f.Elems], buf[pos:pos+f.Elems])
 		pos += f.Elems
 	}
 	return nil

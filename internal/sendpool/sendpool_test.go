@@ -1,0 +1,86 @@
+package sendpool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+type fakeSender struct {
+	mu    sync.Mutex
+	sends []string
+	err   error
+}
+
+func (f *fakeSender) Send(to, stream int, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sends = append(f.sends, string(data))
+	return f.err
+}
+
+func TestSendWaitDeliversInOrder(t *testing.T) {
+	f := &fakeSender{}
+	a := Acquire()
+	defer Release(a)
+	for _, msg := range []string{"one", "two", "three"} {
+		a.Send(f, 1, 0, []byte(msg))
+		if err := a.Wait(); err != nil {
+			t.Fatalf("Wait: %v", err)
+		}
+	}
+	if len(f.sends) != 3 || f.sends[0] != "one" || f.sends[2] != "three" {
+		t.Fatalf("sends = %v", f.sends)
+	}
+}
+
+func TestWaitReturnsSendError(t *testing.T) {
+	want := errors.New("boom")
+	f := &fakeSender{err: want}
+	a := Acquire()
+	defer Release(a)
+	a.Send(f, 0, 0, nil)
+	if err := a.Wait(); !errors.Is(err, want) {
+		t.Fatalf("Wait = %v, want %v", err, want)
+	}
+}
+
+func TestAcquireReusesReleased(t *testing.T) {
+	a := Acquire()
+	Release(a)
+	b := Acquire()
+	defer Release(b)
+	if a != b {
+		t.Error("Acquire should reuse the released sender")
+	}
+	// The recycled sender must still work.
+	f := &fakeSender{}
+	b.Send(f, 2, 1, []byte("again"))
+	if err := b.Wait(); err != nil {
+		t.Fatalf("Wait after reuse: %v", err)
+	}
+	if len(f.sends) != 1 {
+		t.Fatalf("sends = %v", f.sends)
+	}
+}
+
+func TestConcurrentOperations(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := &fakeSender{}
+			a := Acquire()
+			defer Release(a)
+			for i := 0; i < 100; i++ {
+				a.Send(f, 0, 0, []byte{byte(i)})
+				if err := a.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

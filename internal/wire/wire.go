@@ -1,0 +1,30 @@
+// Package wire provides bulk conversions between host-order numeric slices
+// and the little-endian byte layout used on the wire by every codec and
+// collective in this repository.
+//
+// Two implementations exist behind the same API:
+//
+//   - wire_unsafe.go: on little-endian architectures the typed slice is
+//     reinterpreted as bytes (always viewing the *typed* slice as bytes, never
+//     bytes as a typed slice, so no alignment requirements arise) and the
+//     conversion collapses to a single memmove. This is the kernel the hot
+//     path runs on amd64/arm64.
+//   - wire_portable.go: a per-element encoding/binary loop, used on
+//     big-endian targets or when building with the `purego` tag.
+//
+// Both are exercised by the same test suite; the portable path is the
+// reference semantics.
+package wire
+
+// Grow extends b by n bytes and returns the extended slice, reallocating only
+// when capacity is insufficient. The new bytes are uninitialized garbage when
+// taken from existing capacity; callers must overwrite all of them. It is the
+// append-style growth primitive used by Codec.EncodeTo implementations.
+func Grow(b []byte, n int) []byte {
+	if n <= cap(b)-len(b) {
+		return b[:len(b)+n]
+	}
+	nb := make([]byte, len(b)+n)
+	copy(nb, b)
+	return nb
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aiacc/internal/sendpool"
 	"aiacc/transport"
 )
 
@@ -74,7 +75,9 @@ func (c *Comm) Send(to, stream int, data []byte) error {
 }
 
 // Recv blocks until a message from communicator member `from` arrives on the
-// given stream.
+// given stream. The caller owns the returned payload and may reuse or
+// overwrite it freely once decoded — the transport never touches a delivered
+// buffer again (see transport.Endpoint for the full ownership contract).
 func (c *Comm) Recv(from, stream int) ([]byte, error) {
 	g, err := c.GlobalRank(from)
 	if err != nil {
@@ -149,24 +152,40 @@ func (c *Comm) LeaderGroup(gpusPerNode int) (*Comm, error) {
 }
 
 // Barrier blocks until every member of the communicator has entered it, using
-// a dissemination barrier: ceil(log2(n)) rounds of paired send/recv.
+// a dissemination barrier: ceil(log2(n)) rounds of paired send/recv. The
+// concurrent send of each round runs on a pooled persistent sender rather
+// than a fresh goroutine per round.
 func (c *Comm) Barrier(stream int) error {
 	n := len(c.group)
 	if n == 1 {
 		return nil
 	}
+	a := sendpool.Acquire()
+	inflight := false
+	defer func() {
+		if inflight {
+			sendpool.Abandon(a)
+		} else {
+			sendpool.Release(a)
+		}
+	}()
+	// The token is reused across rounds even though Send normally transfers
+	// payload ownership: barrier receivers discard the payload without
+	// reading, retaining, or recycling it, so the reuse cannot race.
 	token := []byte{1}
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
 		from := (c.rank - dist%n + n) % n
-		errc := make(chan error, 1)
-		go func() { errc <- c.Send(to, stream, token) }()
+		a.Send(c, to, stream, token)
+		inflight = true
 		if _, err := c.Recv(from, stream); err != nil {
 			return fmt.Errorf("barrier recv: %w", err)
 		}
-		if err := <-errc; err != nil {
+		if err := a.Wait(); err != nil {
+			inflight = false
 			return fmt.Errorf("barrier send: %w", err)
 		}
+		inflight = false
 	}
 	return nil
 }

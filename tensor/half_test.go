@@ -99,6 +99,54 @@ func TestEncodeDecodeHalfBuffers(t *testing.T) {
 	}
 }
 
+// DecodeHalf's lookup table must agree with the scalar conversion for every
+// one of the 65536 binary16 bit patterns.
+func TestDecodeHalfTableExhaustive(t *testing.T) {
+	src := make([]byte, 2*(1<<16))
+	for h := 0; h < 1<<16; h++ {
+		src[2*h] = byte(h)
+		src[2*h+1] = byte(h >> 8)
+	}
+	dst := make([]float32, 1<<16)
+	DecodeHalf(dst, src)
+	for h := 0; h < 1<<16; h++ {
+		want := HalfToFloat32(uint16(h))
+		if math.Float32bits(dst[h]) != math.Float32bits(want) {
+			t.Fatalf("pattern %#04x: table %v (%#08x) != scalar %v (%#08x)",
+				h, dst[h], math.Float32bits(dst[h]), want, math.Float32bits(want))
+		}
+	}
+}
+
+// EncodeHalf's bulk fast path must produce bit-identical output to the scalar
+// Float32ToHalf, across every binary16 value, their rounding neighbours and a
+// random float sample.
+func TestEncodeHalfMatchesScalar(t *testing.T) {
+	var src []float32
+	for h := 0; h < 1<<16; h++ {
+		v := HalfToFloat32(uint16(h))
+		src = append(src, v)
+		if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+			// Values just off the representable points exercise rounding.
+			bits := math.Float32bits(v)
+			src = append(src, math.Float32frombits(bits+1), math.Float32frombits(bits^1))
+		}
+	}
+	for i := 0; i < 1<<16; i++ {
+		// A dense sweep of raw fp32 patterns spread across the full range.
+		src = append(src, math.Float32frombits(uint32(i)*65519))
+	}
+	buf := make([]byte, 2*len(src))
+	EncodeHalf(buf, src)
+	for i, v := range src {
+		got := uint16(buf[2*i]) | uint16(buf[2*i+1])<<8
+		if want := Float32ToHalf(v); got != want {
+			t.Fatalf("element %d (%v, bits %#08x): bulk %#04x != scalar %#04x",
+				i, v, math.Float32bits(v), got, want)
+		}
+	}
+}
+
 // Property: decode(encode(x)) is within half-precision relative error for all
 // values inside the normal half range.
 func TestQuickHalfRelativeError(t *testing.T) {

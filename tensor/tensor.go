@@ -253,23 +253,22 @@ func (op ReduceOp) String() string {
 	}
 }
 
-// Apply reduces src into dst according to op.
-func (op ReduceOp) Apply(dst, src []float32) error {
+// checkApply validates an Apply/ApplyParallel call.
+func checkApply(op ReduceOp, dst, src []float32) error {
 	if len(dst) != len(src) {
 		return fmt.Errorf("%w: %d vs %d elements", ErrShapeMismatch, len(dst), len(src))
 	}
-	if len(src) == 0 {
-		return nil
-	}
-	switch op {
-	case OpSum:
-		AddSlice(dst, src)
-	case OpMin:
-		MinSlice(dst, src)
-	case OpMax:
-		MaxSlice(dst, src)
-	default:
+	if op != OpSum && op != OpMin && op != OpMax {
 		return fmt.Errorf("tensor: unknown reduce op %d", int(op))
 	}
+	return nil
+}
+
+// Apply reduces src into dst according to op.
+func (op ReduceOp) Apply(dst, src []float32) error {
+	if err := checkApply(op, dst, src); err != nil {
+		return err
+	}
+	applyChunk(op, dst, src)
 	return nil
 }

@@ -34,6 +34,24 @@ var (
 // concurrent use by multiple goroutines; messages between a fixed
 // (peer, stream) pair are delivered in FIFO order, while messages on
 // different streams are independent and may interleave arbitrarily.
+//
+// # Buffer ownership
+//
+// The transport moves buffers, it never copies them defensively. The contract
+// the whole hot path is built on (see DESIGN.md, "Hot-path memory
+// discipline"):
+//
+//   - Send transfers ownership of the payload slice to the transport and
+//     onward to the receiver. After Send returns the caller must not read or
+//     write the slice again — the in-memory transport hands the very same
+//     backing array to the peer's Recv.
+//   - Recv transfers ownership of the returned payload to the caller, who may
+//     decode it in place, overwrite it, adopt it as a future send buffer (the
+//     ring collectives circulate buffers this way), or recycle it into a
+//     pool. The transport never touches a delivered buffer again.
+//
+// A violation is a data race, not a correctness-of-values question: the race
+// detector sees it immediately under the memnet transport.
 type Endpoint interface {
 	// Rank returns this endpoint's rank in [0, Size).
 	Rank() int
@@ -41,12 +59,12 @@ type Endpoint interface {
 	Size() int
 	// Streams returns the number of independent streams per peer pair.
 	Streams() int
-	// Send delivers data to rank `to` on the given stream. The data slice is
-	// owned by the transport after the call returns; callers must not reuse
-	// it. Send blocks until the message is accepted by the channel.
+	// Send delivers data to rank `to` on the given stream, transferring
+	// ownership of data to the receiver (see "Buffer ownership" above).
+	// Send blocks until the message is accepted by the channel.
 	Send(to, stream int, data []byte) error
 	// Recv blocks until a message from rank `from` on the given stream is
-	// available and returns its payload.
+	// available and returns its payload. The caller owns the payload.
 	Recv(from, stream int) ([]byte, error)
 	// Close releases the endpoint. Pending and subsequent operations fail
 	// with ErrClosed.
