@@ -3,12 +3,12 @@
 # `make ci` is the check gate for changes touching the hot path: it runs the
 # tier-1 verify (build + full test suite), vet, the race detector over the
 # packages that exercise the transport ownership contract, and a smoke run of
-# the live/codec microbenchmarks (1 iteration — catches benchmark bit-rot, not
-# performance).
+# the live/codec/TCP microbenchmarks (1 iteration — catches benchmark bit-rot,
+# not performance).
 
 GO ?= go
 
-.PHONY: ci build test vet race bench-smoke bench
+.PHONY: ci build test vet race bench-smoke bench bench-tcp
 
 ci: vet build test race bench-smoke
 
@@ -25,8 +25,13 @@ race:
 	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/...
 
 bench-smoke:
-	$(GO) test -run XXX -bench 'Live|Codec' -benchtime 1x .
+	$(GO) test -run XXX -bench 'Live|Codec|TCP' -benchtime 1x .
 
-# Full live-path benchmark numbers (the ones recorded in BENCH_pr1.json).
+# Full live-path benchmark numbers (recorded in BENCH_pr1.json and, for the
+# TCP data plane, BENCH_pr2.json).
 bench:
-	$(GO) test -run XXX -bench 'Live|Codec' -benchtime 200x .
+	$(GO) test -run XXX -bench 'Live|Codec|TCP' -benchtime 200x .
+
+# Just the real-socket data plane (the BENCH_pr2.json numbers).
+bench-tcp:
+	$(GO) test -run XXX -bench TCP -benchtime 200x .

@@ -286,13 +286,15 @@ func (e *PSEngine) serverAccumulate(id int, vals []float32, from int) {
 // never blocks the calling reader goroutine.
 func (e *PSEngine) serveResult(id int, result []float32) {
 	stream := e.streamFor(id)
-	payload := encode(msgPull, id, result)
 	for peer := 0; peer < e.comm.Size(); peer++ {
 		if peer == e.comm.Rank() {
 			continue
 		}
+		// Fresh payload per peer: Send transfers exclusive ownership of the
+		// buffer (a transport may recycle it into the shared wire pool once
+		// written), so the same encoding must not be in flight twice.
 		select {
-		case e.outbox <- outMsg{to: peer, stream: stream, data: payload}:
+		case e.outbox <- outMsg{to: peer, stream: stream, data: encode(msgPull, id, result)}:
 		case <-e.stopped:
 			return
 		}

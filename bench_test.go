@@ -262,35 +262,114 @@ func BenchmarkRingAllReduceLive(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer func() { _ = net.Close() }()
-			comms := make([]*mpi.Comm, 4)
-			datas := make([][]float32, 4)
-			for r := 0; r < 4; r++ {
-				ep, err := net.Endpoint(r)
-				if err != nil {
-					b.Fatal(err)
-				}
-				comms[r] = mpi.NewWorld(ep)
-				datas[r] = make([]float32, elems)
-			}
-			b.SetBytes(int64(elems) * 4)
-			b.ReportAllocs()
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for r := 0; r < 4; r++ {
-				wg.Add(1)
-				go func(r int) {
-					defer wg.Done()
-					for i := 0; i < b.N; i++ {
-						if err := collective.RingAllReduce(comms[r], 0, datas[r], tensor.OpSum); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(r)
-			}
-			wg.Wait()
+			benchRingAllReduce(b, net, elems)
 		})
 	}
+}
+
+// benchRingAllReduce runs the 4-rank ring all-reduce b.N times over an
+// established network, one persistent goroutine per rank (see
+// BenchmarkRingAllReduceLive for why the harness adds no per-iteration
+// allocations).
+func benchRingAllReduce(b *testing.B, net transport.Network, elems int) {
+	b.Helper()
+	comms := make([]*mpi.Comm, 4)
+	datas := make([][]float32, 4)
+	for r := 0; r < 4; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comms[r] = mpi.NewWorld(ep)
+		datas[r] = make([]float32, elems)
+	}
+	b.SetBytes(int64(elems) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := collective.RingAllReduce(comms[r], 0, datas[r], tensor.OpSum); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// BenchmarkRingAllReduceTCP is BenchmarkRingAllReduceLive over real TCP
+// loopback sockets: the numbers include framing syscalls, socket buffer
+// copies and the transport receive path, so this is the benchmark that
+// measures the TCP data plane itself (vectored framing, pooled receive
+// buffers, inbox read-ahead).
+func BenchmarkRingAllReduceTCP(b *testing.B) {
+	for _, elems := range []int{1 << 14, 1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("4ranks/%delems", elems), func(b *testing.B) {
+			net, err := transport.NewTCP(4, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = net.Close() }()
+			benchRingAllReduce(b, net, elems)
+		})
+	}
+}
+
+// benchEngineIteration measures one full live engine iteration (sync + pack
+// + multi-stream all-reduce) across 4 workers of an established network.
+func benchEngineIteration(b *testing.B, net transport.Network, cfg engine.Config) {
+	b.Helper()
+	const workers = 4
+	engines := make([]*engine.Engine, workers)
+	grads := make([]*tensor.Tensor, workers)
+	for r := 0; r < workers; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.NewEngine(mpi.NewWorld(ep), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register("w", 1<<18); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = e.Close() }()
+		engines[r] = e
+		grads[r] = tensor.Filled(1, 1<<18)
+	}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	// One persistent goroutine per worker; iterations are separated by the
+	// engine's own collective agreement, so no outer barrier (or its
+	// allocations) is needed per iteration.
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := engines[r].PushGradient("w", grads[r]); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := engines[r].WaitIteration(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // BenchmarkEngineIterationLive measures one full live engine iteration
@@ -308,51 +387,27 @@ func BenchmarkEngineIterationLive(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer func() { _ = net.Close() }()
-			engines := make([]*engine.Engine, workers)
-			grads := make([]*tensor.Tensor, workers)
-			for r := 0; r < workers; r++ {
-				ep, err := net.Endpoint(r)
-				if err != nil {
-					b.Fatal(err)
-				}
-				e, err := engine.NewEngine(mpi.NewWorld(ep), cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := e.Register("w", 1<<18); err != nil {
-					b.Fatal(err)
-				}
-				if err := e.Start(); err != nil {
-					b.Fatal(err)
-				}
-				defer func() { _ = e.Close() }()
-				engines[r] = e
-				grads[r] = tensor.Filled(1, 1<<18)
+			benchEngineIteration(b, net, cfg)
+		})
+	}
+}
+
+// BenchmarkEngineIterationTCP is BenchmarkEngineIterationLive over real TCP
+// loopback sockets — the end-to-end iteration cost a single-node multi-process
+// deployment would pay.
+func BenchmarkEngineIterationTCP(b *testing.B) {
+	for _, streams := range []int{1, 4} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			cfg := engine.DefaultConfig()
+			cfg.Streams = streams
+			cfg.GranularityBytes = 256 << 10
+			cfg.MinSyncBytes = 256 << 10
+			net, err := transport.NewTCP(4, cfg.RequiredStreams())
+			if err != nil {
+				b.Fatal(err)
 			}
-			b.SetBytes(1 << 20)
-			b.ReportAllocs()
-			b.ResetTimer()
-			// One persistent goroutine per worker; iterations are separated
-			// by the engine's own collective agreement, so no outer barrier
-			// (or its allocations) is needed per iteration.
-			var wg sync.WaitGroup
-			for r := 0; r < workers; r++ {
-				wg.Add(1)
-				go func(r int) {
-					defer wg.Done()
-					for i := 0; i < b.N; i++ {
-						if err := engines[r].PushGradient("w", grads[r]); err != nil {
-							b.Error(err)
-							return
-						}
-						if err := engines[r].WaitIteration(); err != nil {
-							b.Error(err)
-							return
-						}
-					}
-				}(r)
-			}
-			wg.Wait()
+			defer func() { _ = net.Close() }()
+			benchEngineIteration(b, net, cfg)
 		})
 	}
 }

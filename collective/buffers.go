@@ -1,43 +1,32 @@
 package collective
 
-import "sync"
+import (
+	"sync"
 
-// Hot-path scratch pools. A ring step needs one wire buffer (the encoded
-// chunk) and one fp32 scratch (the decoded incoming chunk). Instead of a
-// fresh allocation per step, operations draw both from process-wide pools and
-// recycle the buffers they receive: because Send transfers payload ownership
-// to the receiver (see the transport.Endpoint contract), the buffer received
-// on step s is re-encoded and sent on step s+1, so a steady-state ring
-// circulates a fixed set of buffers and allocates nothing.
-//
-// The pools hold boxed slices (*[]byte / *[]float32) so that recycling a
-// buffer through the pool does not itself allocate an interface box per
-// round trip.
+	"aiacc/internal/bufpool"
+)
 
-var wirePool = sync.Pool{New: func() any { return new([]byte) }}
+// Hot-path scratch buffers. A ring step needs one wire buffer (the encoded
+// chunk) and one fp32 scratch (the decoded incoming chunk). Wire buffers come
+// from the process-wide size-classed pool in internal/bufpool — the same pool
+// the TCP transport's receive path draws from, so over TCP a payload travels
+// pool → socket → collective → (adopted, re-sent) → pool without ever hitting
+// the allocator. Because Send transfers payload ownership to the receiver
+// (see the transport.Endpoint contract), the buffer received on ring step s
+// is re-encoded and sent on step s+1, so a steady-state ring circulates a
+// fixed set of buffers and allocates nothing.
 
-// getWire returns a boxed wire buffer; the slice inside may be nil or hold
-// capacity from a previous operation. Callers use it append-style
-// (EncodeTo(buf[:0], …)) and put the box back — usually carrying a different
-// slice than it arrived with, which is fine — via putWire.
-func getWire() *[]byte { return wirePool.Get().(*[]byte) }
+// getWireCap returns a zero-length wire buffer with capacity for n bytes,
+// ready for append-style encoding (EncodeTo(buf, …)).
+func getWireCap(n int) []byte { return bufpool.GetCap(n) }
 
-func putWire(bp *[]byte) {
-	*bp = (*bp)[:0]
-	wirePool.Put(bp)
-}
+// recycleWire returns a wire buffer to the shared pool once its owner is done
+// with it — the receiver owns delivered payloads per the transport contract.
+func recycleWire(b []byte) { bufpool.Put(b) }
 
-// recycleWire returns a received payload to the pool once the receiver is
-// done with it — the receiver owns payloads per the transport contract.
-func recycleWire(b []byte) {
-	if cap(b) == 0 {
-		return
-	}
-	bp := wirePool.Get().(*[]byte)
-	*bp = b[:0]
-	wirePool.Put(bp)
-}
-
+// The fp32 scratch pool stays local to the collectives: decode scratch never
+// crosses the transport, and boxing it through the byte pool would cost a
+// slice-header conversion per step.
 var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
 
 // getF32 returns a boxed float32 scratch slice with length exactly n.

@@ -59,15 +59,15 @@ func min(a, b int) int {
 type ringOp struct {
 	async    *sendpool.Async
 	inflight bool
-	box      *[]byte
 	buf      []byte // owned wire buffer for the next encode
 }
 
 // beginRing returns the op by value so it stays on the caller's stack; a
 // pointer result would heap-allocate one ringOp per collective call.
-func beginRing() ringOp {
-	box := getWire()
-	return ringOp{async: sendpool.Acquire(), box: box, buf: *box}
+// wireHint is the expected encoded chunk size, used to draw a buffer from the
+// right size class.
+func beginRing(wireHint int) ringOp {
+	return ringOp{async: sendpool.Acquire(), buf: getWireCap(wireHint)}
 }
 
 // send dispatches the op's current wire buffer, whose ownership transfers
@@ -98,8 +98,7 @@ func (r *ringOp) end() {
 	} else {
 		sendpool.Release(r.async)
 	}
-	*r.box = r.buf
-	putWire(r.box)
+	recycleWire(r.buf)
 }
 
 // RingAllReduce performs an in-place ring all-reduce of data across all
@@ -128,7 +127,7 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
 
-	r := beginRing()
+	r := beginRing(int(codec.WireBytes(len(data)/n + 1)))
 	defer r.end()
 	// One decode scratch of max-chunk size serves every step.
 	fp := getF32(len(data)/n + 1)
@@ -224,10 +223,7 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 		if child < n {
 			// Each child gets its own buffer: the payload's ownership moves
 			// to the child, which recycles it through the shared pool.
-			bp := getWire()
-			buf := codec.EncodeTo((*bp)[:0], data)
-			*bp = nil
-			putWire(bp)
+			buf := codec.EncodeTo(getWireCap(int(codec.WireBytes(len(data)))), data)
 			if err := c.Send((child+root)%n, stream, buf); err != nil {
 				return fmt.Errorf("broadcast send: %w", err)
 			}
@@ -312,9 +308,9 @@ func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 	// the op's wire buffer, the buffer is sent away (the receiver owns it),
 	// and the payload received on the same step — already folded into bits —
 	// becomes the next step's wire buffer. No copies, no per-step allocation.
-	r := beginRing()
-	defer r.end()
 	size := 8 * len(bits)
+	r := beginRing(size)
+	defer r.end()
 	r.buf = wire.Grow(r.buf[:0], size)
 	wire.PutUint64s(r.buf, bits)
 	for step := 0; step < n-1; step++ {

@@ -36,7 +36,7 @@ func ReduceScatterCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	}
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
-	r := beginRing()
+	r := beginRing(int(codec.WireBytes(len(data)/n + 1)))
 	defer r.end()
 	fp := getF32(len(data)/n + 1)
 	defer putF32(fp)

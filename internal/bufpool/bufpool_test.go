@@ -1,0 +1,97 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+func TestGetLengthAndCapacity(t *testing.T) {
+	for _, n := range []int{1, 31, 32, 33, 512, 513, 4096, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Errorf("Get(%d) len = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("Get(%d) cap = %d", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestGetZero(t *testing.T) {
+	b := Get(0)
+	if b == nil || len(b) != 0 {
+		t.Fatalf("Get(0) = %v (nil=%v)", b, b == nil)
+	}
+	Put(b) // must be a no-op, not adopt the shared empty slice
+	if got := Get(16); cap(got) < 16 {
+		t.Fatalf("pool corrupted by Put(empty): cap %d", cap(got))
+	}
+}
+
+func TestRoundTripReusesBuffer(t *testing.T) {
+	b := Get(1000)
+	b[0] = 42
+	Put(b)
+	// Same size class: the pooled buffer must come back (same backing array).
+	got := Get(1000)
+	if &got[0] != &b[0] {
+		t.Error("round trip did not reuse the pooled buffer")
+	}
+}
+
+func TestClassGuarantee(t *testing.T) {
+	// A buffer recycled into a class must satisfy any request the class
+	// serves: Put a 1500-cap buffer (class 10: 1024..2047), then Get 1024.
+	Put(make([]byte, 1500))
+	b := Get(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("class guarantee violated: cap %d for Get(1024)", cap(b))
+	}
+}
+
+func TestTinyAndHugeNotPooled(t *testing.T) {
+	tiny := make([]byte, 8)
+	Put(tiny) // below the floor: dropped
+	if got := Get(8); cap(got) < 8 {
+		t.Fatalf("Get(8) cap = %d", cap(got))
+	} else if len(got) > 0 && cap(tiny) >= 8 && &got[0] == &tiny[0] {
+		t.Error("sub-floor buffer was pooled")
+	}
+	Put(make([]byte, 1<<27+1)) // above the ceiling: dropped, no panic
+}
+
+func TestClassMath(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {32, 0}, {33, 1}, {64, 1}, {65, 2},
+		{1 << 26, maxClassBits - minClassBits},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+	if classOf(31) != -1 {
+		t.Error("classOf below floor must be -1")
+	}
+	if classOf(1<<27) != -1 {
+		t.Error("classOf above ceiling must be -1")
+	}
+	if classOf(32) != 0 || classOf(63) != 0 || classOf(64) != 1 {
+		t.Error("classOf boundaries wrong")
+	}
+}
+
+// The whole point: a steady-state Get/Put cycle allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	// Warm the class and the box pool.
+	for i := 0; i < 4; i++ {
+		Put(Get(64 << 10))
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		b := Get(64 << 10)
+		Put(b)
+	})
+	if avg > 0.1 {
+		t.Errorf("steady-state Get/Put allocates %.1f allocs/op, want 0", avg)
+	}
+}

@@ -312,9 +312,13 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 				return nil, err
 			}
 		}
-		decision := encodeWords(global.bits)
+		// Each worker gets its own copy of the decision: Send transfers
+		// exclusive ownership of the payload (a transport may hand the
+		// buffer to the receiver in place, or recycle it into the shared
+		// wire pool after writing it out), so one buffer must never be in
+		// flight to two receivers.
 		for to := 1; to < n; to++ {
-			if err := m.comm.Send(to, m.stream, decision); err != nil {
+			if err := m.comm.Send(to, m.stream, encodeWords(global.bits)); err != nil {
 				return nil, fmt.Errorf("master decide to %d: %w", to, err)
 			}
 		}

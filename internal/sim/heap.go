@@ -1,0 +1,66 @@
+package sim
+
+// minHeap is a binary min-heap over a plain slice. Unlike container/heap it
+// is generic, so pushing a value never boxes it into an interface — the
+// simulator's scheduling hot path stays allocation-free once the backing
+// slice has grown to the high-water mark (asserted in sim_test.go).
+type minHeap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+func (h *minHeap[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum without removing it. Caller must check Len first.
+func (h *minHeap[T]) Peek() T { return h.items[0] }
+
+func (h *minHeap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.siftUp(len(h.items) - 1)
+}
+
+func (h *minHeap[T]) Pop() T {
+	items := h.items
+	n := len(items) - 1
+	top := items[0]
+	items[0] = items[n]
+	var zero T
+	items[n] = zero // release references (events hold closures) for GC
+	h.items = items[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *minHeap[T]) siftUp(i int) {
+	items := h.items
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(items[i], items[parent]) {
+			return
+		}
+		items[i], items[parent] = items[parent], items[i]
+		i = parent
+	}
+}
+
+func (h *minHeap[T]) siftDown(i int) {
+	items := h.items
+	n := len(items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && h.less(items[right], items[left]) {
+			min = right
+		}
+		if !h.less(items[min], items[i]) {
+			return
+		}
+		items[i], items[min] = items[min], items[i]
+		i = min
+	}
+}

@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"time"
 )
@@ -20,37 +19,26 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore orders events by virtual time, ties broken by scheduling order.
+func eventBefore(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulator owns a virtual clock and an event queue. It is not safe for
 // concurrent use: all events execute on the caller's goroutine inside Run.
 type Simulator struct {
 	now    time.Duration
-	queue  eventHeap
+	queue  minHeap[event]
 	seq    int64
 	events int64
 }
 
 // New returns a simulator at virtual time zero.
 func New() *Simulator {
-	return &Simulator{}
+	return &Simulator{queue: minHeap[event]{less: eventBefore}}
 }
 
 // Now returns the current virtual time.
@@ -65,7 +53,7 @@ func (s *Simulator) At(t time.Duration, fn func()) error {
 		return ErrPastEvent
 	}
 	s.seq++
-	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+	s.queue.Push(event{at: t, seq: s.seq, fn: fn})
 	return nil
 }
 
@@ -84,7 +72,7 @@ func (s *Simulator) After(d time.Duration, fn func()) {
 func (s *Simulator) Run() int64 {
 	start := s.events
 	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(event)
+		e := s.queue.Pop()
 		s.now = e.at
 		s.events++
 		e.fn()
@@ -96,8 +84,8 @@ func (s *Simulator) Run() int64 {
 // clock to the deadline. Remaining events stay queued.
 func (s *Simulator) RunUntil(deadline time.Duration) int64 {
 	start := s.events
-	for s.queue.Len() > 0 && s.queue[0].at <= deadline {
-		e := heap.Pop(&s.queue).(event)
+	for s.queue.Len() > 0 && s.queue.Peek().at <= deadline {
+		e := s.queue.Pop()
 		s.now = e.at
 		s.events++
 		e.fn()

@@ -101,6 +101,29 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// Scheduling and draining events must not allocate once the queue's backing
+// slice has reached its high-water mark: the generic heap stores events
+// inline instead of boxing them through interface{} as container/heap did.
+func TestSchedulingDoesNotAllocate(t *testing.T) {
+	s := New()
+	fn := func() {}
+	const batch = 64
+	// Warm the queue to its steady-state capacity.
+	for i := 0; i < batch; i++ {
+		s.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < batch; i++ {
+			s.After(time.Duration(i)*time.Millisecond, fn)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+run allocated %.1f times per op, want 0", allocs)
+	}
+}
+
 func TestRunUntilAdvancesIdleClock(t *testing.T) {
 	s := New()
 	s.RunUntil(7 * time.Second)

@@ -151,6 +151,15 @@ func (c *Comm) LeaderGroup(gpusPerNode int) (*Comm, error) {
 	return c.Subgroup(leaders)
 }
 
+// barrierToken is the one-byte payload every barrier round exchanges. It is
+// deliberately shared across rounds, ranks and Barrier calls even though Send
+// normally transfers exclusive payload ownership: barrier receivers discard
+// the payload without reading, retaining, or recycling it, and the token's
+// capacity sits below internal/bufpool's minimum size class, so no transport
+// (including the TCP data plane, which recycles written payloads into that
+// pool) will ever hand the token's storage to another owner.
+var barrierToken = []byte{1}
+
 // Barrier blocks until every member of the communicator has entered it, using
 // a dissemination barrier: ceil(log2(n)) rounds of paired send/recv. The
 // concurrent send of each round runs on a pooled persistent sender rather
@@ -169,10 +178,7 @@ func (c *Comm) Barrier(stream int) error {
 			sendpool.Release(a)
 		}
 	}()
-	// The token is reused across rounds even though Send normally transfers
-	// payload ownership: barrier receivers discard the payload without
-	// reading, retaining, or recycling it, so the reuse cannot race.
-	token := []byte{1}
+	token := barrierToken
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
 		from := (c.rank - dist%n + n) % n

@@ -18,6 +18,9 @@ type WorkerOption func(*workerConfig)
 type workerConfig struct {
 	dialTimeout time.Duration
 	retryDelay  time.Duration
+	bindRetries int
+	bindDelay   time.Duration
+	tcp         tcpConfig
 }
 
 // WithDialTimeout bounds how long a worker waits for its peers to come up
@@ -26,6 +29,33 @@ func WithDialTimeout(d time.Duration) WorkerOption {
 	return func(c *workerConfig) {
 		if d > 0 {
 			c.dialTimeout = d
+		}
+	}
+}
+
+// WithTCPOptions applies data-plane tuning (inbox depth, socket buffers,
+// TCP_NODELAY, read buffer) to the worker's mesh sockets — the same options
+// NewTCP takes.
+func WithTCPOptions(opts ...TCPOption) WorkerOption {
+	return func(c *workerConfig) {
+		for _, o := range opts {
+			o(&c.tcp)
+		}
+	}
+}
+
+// WithBindRetry tunes how persistently the worker re-attempts binding its
+// listen address (default 20 attempts, 25ms apart). FreeAddrs-style
+// reservations release their ports before the workers re-bind them, so
+// another process can steal the port in the gap; retrying rides out the
+// transient holder instead of failing the whole mesh.
+func WithBindRetry(attempts int, delay time.Duration) WorkerOption {
+	return func(c *workerConfig) {
+		if attempts >= 1 {
+			c.bindRetries = attempts
+		}
+		if delay > 0 {
+			c.bindDelay = delay
 		}
 	}
 }
@@ -48,16 +78,22 @@ func NewTCPWorker(rank, streams int, addrs []string, opts ...WorkerOption) (Endp
 	if streams <= 0 {
 		return nil, fmt.Errorf("%w: streams %d", ErrBadStream, streams)
 	}
-	cfg := workerConfig{dialTimeout: 30 * time.Second, retryDelay: 50 * time.Millisecond}
+	cfg := workerConfig{
+		dialTimeout: 30 * time.Second,
+		retryDelay:  50 * time.Millisecond,
+		bindRetries: 20,
+		bindDelay:   25 * time.Millisecond,
+		tcp:         defaultTCPConfig(),
+	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 
-	l, err := net.Listen("tcp", addrs[rank])
+	l, err := listenRetry(addrs[rank], cfg.bindRetries, cfg.bindDelay)
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addrs[rank], err)
 	}
-	ep := newTCPEndpoint(rank, size, streams)
+	ep := newTCPEndpoint(rank, size, streams, cfg.tcp)
 
 	expect := (size - 1) * streams
 	acceptErr := make(chan error, 1)
@@ -112,6 +148,7 @@ func dialMesh(ep *tcpEndpoint, rank, streams int, addrs []string, cfg workerConf
 			if err != nil {
 				return fmt.Errorf("%w: dial %d->%d: %v", ErrRendezvous, rank, to, err)
 			}
+			cfg.tcp.apply(conn)
 			var hdr [8]byte
 			binary.BigEndian.PutUint32(hdr[0:], uint32(rank))
 			binary.BigEndian.PutUint32(hdr[4:], uint32(s))
@@ -123,6 +160,30 @@ func dialMesh(ep *tcpEndpoint, rank, streams int, addrs []string, cfg workerConf
 		}
 	}
 	return nil
+}
+
+// listenRetry binds addr, retrying a bounded number of times. The port may be
+// transiently occupied when it came from a FreeAddrs-style reservation (the
+// reservation socket is released before the worker re-binds, and another
+// process can slip into the gap); a fresh port is no fix because every peer
+// dials the configured address, so the only recovery is to wait the squatter
+// out.
+func listenRetry(addr string, attempts int, delay time.Duration) (net.Listener, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(delay)
+		}
+		l, err := net.Listen("tcp", addr)
+		if err == nil {
+			return l, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 func dialRetry(addr string, deadline time.Time, delay time.Duration) (net.Conn, error) {
