@@ -71,16 +71,21 @@ var empty = make([]byte, 0)
 
 // Get returns a buffer of length n drawn from the pool. Contents are
 // arbitrary (not zeroed). The caller owns the buffer until it passes it to
-// Put, a transport Send, or another owner.
+// Put, a transport Send, or another owner. Requests above the largest size
+// class are served by a plain allocation, mirroring how Put drops them.
 func Get(n int) []byte {
 	if n == 0 {
 		return empty
 	}
-	b := take(classFor(n))
+	k := classFor(n)
+	if k >= numClasses {
+		return make([]byte, n)
+	}
+	b := take(k)
 	if cap(b) < n {
 		// Pool miss: allocate the class's full capacity so the buffer is
 		// maximally reusable when it comes back.
-		return make([]byte, n, 1<<(classFor(n)+minClassBits))
+		return make([]byte, n, 1<<(k+minClassBits))
 	}
 	return b[:n]
 }

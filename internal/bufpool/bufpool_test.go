@@ -60,6 +60,18 @@ func TestTinyAndHugeNotPooled(t *testing.T) {
 	Put(make([]byte, 1<<27+1)) // above the ceiling: dropped, no panic
 }
 
+// Requests above the largest size class must fall back to a plain allocation,
+// not index past the class table (the TCP receive path trusts Get with any
+// frame size up to 1 GiB).
+func TestGetAboveCeiling(t *testing.T) {
+	n := 1<<maxClassBits + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("Get(%d) len = %d", n, len(b))
+	}
+	Put(b) // dropped, no panic
+}
+
 func TestClassMath(t *testing.T) {
 	cases := []struct{ n, class int }{
 		{1, 0}, {32, 0}, {33, 1}, {64, 1}, {65, 2},

@@ -51,6 +51,12 @@ var _ Network = (*tcpNetwork)(nil)
 // inbox and corrupt FIFO order, so mesh establishment fails instead.
 var ErrDuplicatePeer = errors.New("transport: duplicate (rank, stream) handshake")
 
+// ErrFrameTooLarge indicates a frame exceeding maxFrameBytes. Send rejects
+// such a payload up front, and a receiver that decodes such a length header
+// reports the stream corrupt through Recv instead of trusting it with a
+// buffer allocation.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds 1 GiB limit")
+
 // maxFrameBytes bounds a frame header before the receive path trusts it with
 // a buffer allocation: a larger length means a corrupt or hostile stream.
 const maxFrameBytes = 1 << 30
@@ -278,13 +284,14 @@ func (n *tcpNetwork) Close() error {
 // the pooled receive path. The pool's minimum size class protects
 // deliberately shared tiny payloads (mpi.Barrier's token) from being reused.
 type connWriter struct {
-	mu   sync.Mutex
-	cond sync.Cond
-	conn net.Conn
-	busy bool   // a flusher is writing outside the lock
-	err  error  // sticky first failure: once a stream write fails, the FIFO is broken
-	seq  uint64 // last enqueued frame
-	done uint64 // every frame <= done has been written (or failed)
+	mu      sync.Mutex
+	cond    sync.Cond
+	conn    net.Conn
+	busy    bool   // a flusher is writing outside the lock
+	err     error  // sticky first failure: once a stream write fails, the FIFO is broken
+	seq     uint64 // last enqueued frame
+	done    uint64 // every frame <= done has been written (or failed)
+	written uint64 // every frame <= written was written successfully
 
 	queue [][]byte // frames awaiting the next flush
 	spare [][]byte // ping-pong backing array for queue
@@ -334,7 +341,13 @@ func (w *connWriter) send(data []byte) error {
 	w.queue = append(w.queue, data)
 	for {
 		if w.done >= seq {
-			err := w.err
+			// Report the sticky error only to frames that were not part of a
+			// successful flush: a frame covered by an earlier successful batch
+			// was delivered even if a later batch failed before we woke up.
+			var err error
+			if seq > w.written {
+				err = w.err
+			}
 			w.mu.Unlock()
 			return err
 		}
@@ -371,6 +384,9 @@ func (w *connWriter) flushLocked() {
 		w.err = err
 	}
 	w.done = hi
+	if err == nil {
+		w.written = hi
+	}
 	w.busy = false
 	w.spare = batch[:0]
 	w.cond.Broadcast()
@@ -416,8 +432,13 @@ type tcpEndpoint struct {
 	out []*connWriter
 
 	// inbox[from*streams+stream] receives decoded frames from the reader
-	// goroutines, cfg.inboxDepth frames ahead of Recv.
-	inbox []chan []byte
+	// goroutines, cfg.inboxDepth frames ahead of Recv. A reader that exits
+	// records why in readerErr and closes its inbox, so a Recv that drains the
+	// channel learns the stream is down instead of blocking forever; the
+	// write-then-close ordering makes the slot safe to read after the channel
+	// reports closed.
+	inbox     []chan []byte
+	readerErr []error
 
 	readerWG  sync.WaitGroup
 	closeOnce sync.Once
@@ -428,13 +449,14 @@ var _ Endpoint = (*tcpEndpoint)(nil)
 
 func newTCPEndpoint(rank, size, streams int, cfg tcpConfig) *tcpEndpoint {
 	ep := &tcpEndpoint{
-		rank:    rank,
-		size:    size,
-		streams: streams,
-		cfg:     cfg,
-		out:     make([]*connWriter, size*streams),
-		inbox:   make([]chan []byte, size*streams),
-		closed:  make(chan struct{}),
+		rank:      rank,
+		size:      size,
+		streams:   streams,
+		cfg:       cfg,
+		out:       make([]*connWriter, size*streams),
+		inbox:     make([]chan []byte, size*streams),
+		readerErr: make([]error, size*streams),
+		closed:    make(chan struct{}),
 	}
 	for i := range ep.inbox {
 		ep.out[i] = newConnWriter()
@@ -492,6 +514,8 @@ func (e *tcpEndpoint) acceptAll(l net.Listener, expect int) error {
 // from the shared wire pool; ownership moves to the Recv caller with the
 // inbox hand-off. The bufio layer batches small frames into one read syscall
 // while payloads larger than its buffer are read directly into pooled memory.
+// On exit the reason is recorded and the inbox closed, so Recv reports the
+// dead stream once the buffered frames are drained.
 func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 	defer e.readerWG.Done()
 	defer func() { _ = conn.Close() }()
@@ -507,25 +531,35 @@ func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 		}
 	}()
 
-	inbox := e.inbox[from*e.streams+stream]
+	idx := from*e.streams + stream
+	e.readerErr[idx] = e.readFrames(conn, e.inbox[idx])
+	close(e.inbox[idx])
+}
+
+// readFrames is readLoop's decode loop; the error it returns says why the
+// stream ended. Pooled payloads that never reach the inbox go back to the
+// pool.
+func (e *tcpEndpoint) readFrames(conn net.Conn, inbox chan []byte) error {
 	br := bufio.NewReaderSize(conn, e.cfg.readBufSize)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			return
+			return err // io.EOF or a closed socket: normal teardown
 		}
 		size := binary.BigEndian.Uint32(lenBuf[:])
 		if size > maxFrameBytes {
-			return // corrupt stream; drop the connection
+			return fmt.Errorf("%w: length header claims %d bytes", ErrFrameTooLarge, size)
 		}
 		payload := bufpool.Get(int(size))
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return
+			bufpool.Put(payload)
+			return fmt.Errorf("read payload: %w", err)
 		}
 		select {
 		case inbox <- payload:
 		case <-e.closed:
-			return
+			bufpool.Put(payload)
+			return ErrClosed
 		}
 	}
 }
@@ -543,6 +577,11 @@ func (e *tcpEndpoint) Send(to, stream int, data []byte) error {
 	}
 	if to == e.rank {
 		return fmt.Errorf("%w: self-send on rank %d", ErrBadRank, to)
+	}
+	if len(data) > maxFrameBytes {
+		// The peer would drop the stream on this length header; fail the send
+		// instead of turning it into a remote teardown.
+		return fmt.Errorf("send %d->%d stream %d: %w: %d bytes", e.rank, to, stream, ErrFrameTooLarge, len(data))
 	}
 	select {
 	case <-e.closed:
@@ -568,7 +607,17 @@ func (e *tcpEndpoint) Recv(from, stream int) ([]byte, error) {
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
-	case data := <-e.inbox[from*e.streams+stream]:
+	case data, ok := <-e.inbox[from*e.streams+stream]:
+		if !ok {
+			// The reader for this stream exited. A protocol violation (e.g.
+			// an oversized length header) is worth naming — it means a peer
+			// sent garbage, not that anyone called Close; every other exit is
+			// connection teardown and reads as ErrClosed.
+			if err := e.readerErr[from*e.streams+stream]; errors.Is(err, ErrFrameTooLarge) {
+				return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, err)
+			}
+			return nil, ErrClosed
+		}
 		return data, nil
 	}
 }

@@ -85,6 +85,45 @@ func TestTCPDistinctStreamsAccepted(t *testing.T) {
 	}
 }
 
+// A length header beyond maxFrameBytes must not turn into a silent hang:
+// frames received before it still deliver, then Recv reports the corrupt
+// stream as ErrFrameTooLarge.
+func TestTCPOversizedHeaderSurfacesOnRecv(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	ep := newTCPEndpoint(0, 2, 1, defaultTCPConfig())
+	defer func() { _ = ep.Close() }()
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- ep.acceptAll(l, 1) }()
+
+	conn := dialHandshake(t, l.Addr().String(), 1, 0)
+	defer func() { _ = conn.Close() }()
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:], 4)
+	copy(frame[4:], "good")
+	var bad [4]byte
+	binary.BigEndian.PutUint32(bad[:], uint32(maxFrameBytes+1))
+	if _, err := conn.Write(append(frame[:], bad[:]...)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ep.Recv(1, 0)
+	if err != nil || string(got) != "good" {
+		t.Fatalf("Recv before corrupt header = %q, %v", got, err)
+	}
+	if _, err := ep.Recv(1, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("Recv after corrupt header = %v, want ErrFrameTooLarge", err)
+	}
+}
+
 // A worker whose configured port is transiently held by another socket must
 // ride it out with bind retries rather than failing the mesh.
 func TestTCPWorkerBindRetry(t *testing.T) {
@@ -126,6 +165,20 @@ func TestTCPWorkerBindRetryExhausted(t *testing.T) {
 	_, err = NewTCPWorker(0, 1, addrs, WithBindRetry(2, time.Millisecond))
 	if err == nil {
 		t.Fatal("expected bind failure while port is held")
+	}
+}
+
+// A permanently invalid listen address must surface immediately instead of
+// burning the full bind-retry budget on an error that can never succeed.
+func TestTCPWorkerBindPermanentErrorFailsFast(t *testing.T) {
+	start := time.Now()
+	_, err := NewTCPWorker(0, 1, []string{"999.999.999.999:0"},
+		WithBindRetry(100, 50*time.Millisecond))
+	if err == nil {
+		t.Fatal("expected bind failure for invalid address")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("permanent bind error took %v, want fail-fast", elapsed)
 	}
 }
 

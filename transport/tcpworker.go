@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"syscall"
 	"time"
 )
 
@@ -162,12 +163,13 @@ func dialMesh(ep *tcpEndpoint, rank, streams int, addrs []string, cfg workerConf
 	return nil
 }
 
-// listenRetry binds addr, retrying a bounded number of times. The port may be
-// transiently occupied when it came from a FreeAddrs-style reservation (the
-// reservation socket is released before the worker re-binds, and another
-// process can slip into the gap); a fresh port is no fix because every peer
-// dials the configured address, so the only recovery is to wait the squatter
-// out.
+// listenRetry binds addr, retrying a bounded number of times while the port
+// is occupied. The port may be transiently held when it came from a
+// FreeAddrs-style reservation (the reservation socket is released before the
+// worker re-binds, and another process can slip into the gap); a fresh port
+// is no fix because every peer dials the configured address, so the only
+// recovery is to wait the squatter out. Only EADDRINUSE is retried —
+// permanent errors (bad address, permission denied) fail immediately.
 func listenRetry(addr string, attempts int, delay time.Duration) (net.Listener, error) {
 	if attempts < 1 {
 		attempts = 1
@@ -182,6 +184,9 @@ func listenRetry(addr string, attempts int, delay time.Duration) (net.Listener, 
 			return l, nil
 		}
 		lastErr = err
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			break
+		}
 	}
 	return nil, lastErr
 }
