@@ -2,15 +2,16 @@
 #
 # `make ci` is the check gate for changes touching the hot path: it runs the
 # tier-1 verify (build + full test suite), vet, the race detector over the
-# packages that exercise the transport ownership contract, and a smoke run of
+# packages that exercise the transport ownership contract, a smoke run of
 # the live/codec/TCP microbenchmarks (1 iteration — catches benchmark bit-rot,
-# not performance).
+# not performance), and the metrics-overhead gate (alloc-free increments plus
+# the <2% instrumentation bound on the live all-reduce).
 
 GO ?= go
 
-.PHONY: ci build test vet race bench-smoke bench bench-tcp
+.PHONY: ci build test vet race bench-smoke metrics-overhead bench bench-tcp
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke metrics-overhead
 
 build:
 	$(GO) build ./...
@@ -22,10 +23,17 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/...
+	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... .
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Live|Codec|TCP' -benchtime 1x .
+
+# Observability cost gate (DESIGN.md §7): the metric increment path must be
+# allocation-free and full-stack instrumentation must cost <2% on the live
+# ring all-reduce (min-of-trials A/B against a disabled registry).
+metrics-overhead:
+	$(GO) test -run TestIncrementBenchmarksAllocFree -count=1 ./metrics/
+	AIACC_OVERHEAD_GATE=1 $(GO) test -run TestMetricsOverheadGate -count=1 .
 
 # Full live-path benchmark numbers (recorded in BENCH_pr1.json and, for the
 # TCP data plane, BENCH_pr2.json).

@@ -5,7 +5,34 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"aiacc/metrics"
 )
+
+// Tuner metrics (DESIGN.md §7): arm pulls and training iterations spent per
+// searcher show how the §VI meta solver allocates its budget, new-best counts
+// are its reward signal, and the best-config gauges expose where the search
+// currently stands — the live counterpart of the TrialRecord trace.
+var (
+	mNewBest = metrics.NewCounter("aiacc_autotune_new_best_total",
+		"Evaluations that set a new global best cost.")
+	mBestCost = metrics.NewFloatGauge("aiacc_autotune_best_cost_seconds",
+		"Best observed seconds per iteration.")
+	mBestStreams = metrics.NewGauge("aiacc_autotune_best_streams",
+		"Streams setting of the current best configuration.")
+	mBestGranularity = metrics.NewGauge("aiacc_autotune_best_granularity_bytes",
+		"Granularity of the current best configuration.")
+)
+
+// armMetrics resolves the per-searcher instruments; names repeat across Meta
+// instances, so the registry returns the same series for the same searcher.
+func armMetrics(name string) (pulls, iters *metrics.Counter) {
+	l := metrics.L("searcher", name)
+	return metrics.NewCounter("aiacc_autotune_arm_pulls_total",
+			"Evaluations allocated to each searcher by the meta solver.", l),
+		metrics.NewCounter("aiacc_autotune_arm_iterations_total",
+			"Training iterations spent by each searcher's proposals.", l)
+}
 
 // ErrBadBudget indicates a non-positive tuning budget.
 var ErrBadBudget = errors.New("autotune: bad budget")
@@ -161,11 +188,18 @@ func (m *Meta) Tune(eval Evaluator, budget int) (Params, error) {
 		}
 		cost := eval(prop.Params, prop.Iters)
 		spent += prop.Iters
+		pulls, iters := armMetrics(m.searchers[t].Name())
+		pulls.Inc()
+		iters.Add(int64(prop.Iters))
 		newBest := cost < m.bestCost
 		if newBest || !m.started {
 			m.best = prop.Params
 			m.bestCost = cost
 			m.started = true
+			mNewBest.Inc()
+			mBestCost.Set(cost)
+			mBestStreams.Set(int64(prop.Params.Streams))
+			mBestGranularity.Set(prop.Params.GranularityBytes)
 		}
 		m.searchers[t].Observe(prop, cost)
 		m.window = append(m.window, windowEntry{searcher: t, newBest: newBest})

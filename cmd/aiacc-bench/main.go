@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"aiacc/internal/bench"
+	"aiacc/metrics"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func run() error {
 	experiment := flag.String("experiment", "all", "experiment id to run (see -list)")
 	budget := flag.Int("tune-budget", 60, "auto-tuning budget in simulated training iterations")
 	format := flag.String("format", "text", "output format: text | csv")
+	showMetrics := flag.Bool("metrics", true, "print a metrics-delta summary after experiments that move real bytes")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	if *format != "text" && *format != "csv" {
@@ -79,6 +81,7 @@ func run() error {
 		if *experiment != "all" && e.id != *experiment {
 			continue
 		}
+		before := metrics.SnapshotDefault()
 		t, err := e.run()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.id, err)
@@ -93,6 +96,11 @@ func run() error {
 			fmt.Println()
 		} else {
 			fmt.Println(bench.Render(t))
+		}
+		if *showMetrics && *format == "text" {
+			if s := metricsSummary(before, metrics.SnapshotDefault()); s != "" {
+				fmt.Printf("-- measured by the metrics registry --\n%s\n", s)
+			}
 		}
 		ran = true
 	}

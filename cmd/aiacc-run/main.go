@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	stdnet "net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strings"
@@ -25,6 +27,7 @@ import (
 	"aiacc/baseline"
 	"aiacc/compress"
 	"aiacc/engine"
+	"aiacc/metrics"
 	"aiacc/model"
 	"aiacc/mpi"
 	"aiacc/optimizer"
@@ -66,7 +69,9 @@ func run() error {
 		nanCheck    = flag.Bool("nan-check", false, "scan pushed gradients for non-finite values")
 		autotune0   = flag.Bool("autotune", false, "run the live warm-up auto-tuner before training")
 		tuneBudget  = flag.Int("tune-budget", 12, "warm-up tuning budget in training iterations")
-		traceOut    = flag.String("trace", "", "write rank 0's engine timeline to this file (chrome://tracing JSON)")
+		traceOut    = flag.String("trace", "", "write rank 0's engine+transport timeline to this file (chrome://tracing JSON)")
+		traceMax    = flag.Int("trace-max-events", 0, "cap the trace to the most recent N events (0 = unbounded)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090); /metrics for text, /metrics/vars for JSON")
 		multiproc   = flag.Bool("multiproc", false, "run each worker as its own OS process over TCP")
 		workerRank  = flag.Int("worker-rank", -1, "internal: this child process's rank")
 		workerAddrs = flag.String("worker-addrs", "", "internal: comma-separated rendezvous addresses")
@@ -75,7 +80,17 @@ func run() error {
 
 	var recorder *trace.Recorder
 	if *traceOut != "" {
-		recorder = trace.NewRecorder()
+		recorder = trace.NewRecorder(trace.WithMaxEvents(*traceMax))
+	}
+	// Serve metrics from the process that actually moves bytes: the
+	// single-process run, or rank 0 of a multi-process launch (other ranks
+	// would race for the same address).
+	if *metricsAddr != "" && *workerRank <= 0 && !(*multiproc && *workerRank < 0) {
+		addr, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics endpoint: %w", err)
+		}
+		fmt.Printf("metrics at http://%s/metrics (Prometheus text; /metrics/vars for JSON)\n", addr)
 	}
 	cfg := engine.DefaultConfig()
 	cfg.Streams = *streams
@@ -113,10 +128,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var tcpOpts []transport.TCPOption
+	if recorder != nil {
+		tcpOpts = append(tcpOpts, transport.WithTrace(recorder))
+	}
 	if *workerRank >= 0 {
 		// Child process: join the TCP mesh and run one worker.
 		addrs := strings.Split(*workerAddrs, ",")
-		ep, err := transport.NewTCPWorker(*workerRank, cfg.RequiredStreams(), addrs)
+		ep, err := transport.NewTCPWorker(*workerRank, cfg.RequiredStreams(), addrs,
+			transport.WithTCPOptions(tcpOpts...))
 		if err != nil {
 			return err
 		}
@@ -146,7 +166,7 @@ func run() error {
 	case "mem":
 		net, err = transport.NewMem(*workers, transportStreams)
 	case "tcp":
-		net, err = transport.NewTCP(*workers, transportStreams)
+		net, err = transport.NewTCP(*workers, transportStreams, tcpOpts...)
 	default:
 		return fmt.Errorf("unknown transport %q", *trans)
 	}
@@ -367,6 +387,21 @@ func launchProcesses(workers int) error {
 	}
 	fmt.Println("all worker processes completed")
 	return nil
+}
+
+// serveMetrics binds addr and serves the process-wide metrics registry over
+// HTTP for the rest of the process lifetime; it returns the bound address
+// (useful with ":0").
+func serveMetrics(addr string) (string, error) {
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.Handle("/metrics/", metrics.Handler())
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
 }
 
 func byteSize(b int64) string {

@@ -126,8 +126,11 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	rank := c.Rank()
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
+	defer obsOp(mRing, opStart())
 
-	r := beginRing(int(codec.WireBytes(len(data)/n + 1)))
+	wireHint := int(codec.WireBytes(len(data)/n + 1))
+	mChunkBytes.Observe(int64(wireHint))
+	r := beginRing(wireHint)
 	defer r.end()
 	// One decode scratch of max-chunk size serves every step.
 	fp := getF32(len(data)/n + 1)
@@ -135,6 +138,7 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 
 	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
 	// contributions into chunk (rank-s-1+n)%n.
+	phase := opStart()
 	for step := 0; step < n-1; step++ {
 		sendIdx := (rank - step + n) % n
 		recvIdx := (rank - step - 1 + 2*n) % n
@@ -160,7 +164,10 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		r.adopt(payload)
 	}
 
+	obs(mPhaseRS, phase)
+
 	// All-gather: circulate the fully reduced chunks.
+	phase = opStart()
 	for step := 0; step < n-1; step++ {
 		sendIdx := (rank - step + 1 + n) % n
 		recvIdx := (rank - step + 2*n) % n
@@ -181,6 +188,7 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		}
 		r.adopt(payload)
 	}
+	obs(mPhaseAG, phase)
 	return nil
 }
 
@@ -196,6 +204,7 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 	if n == 1 || len(data) == 0 {
 		return nil
 	}
+	defer obsOp(mBroadcast, opStart())
 	// Rotate ranks so the root is virtual rank 0, then run the classic
 	// binomial tree: a rank receives from (vrank - mask) on the round where
 	// its lowest set bit is reached, then forwards to (vrank + smaller
@@ -247,6 +256,7 @@ func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 	}
 	next := (c.Rank() + 1) % n
 	prev := (c.Rank() - 1 + n) % n
+	defer obsOp(mAllGather, opStart())
 
 	async := sendpool.Acquire()
 	inflight := false
@@ -308,6 +318,7 @@ func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 	// the op's wire buffer, the buffer is sent away (the receiver owns it),
 	// and the payload received on the same step — already folded into bits —
 	// becomes the next step's wire buffer. No copies, no per-step allocation.
+	defer obsOp(mAndBits, opStart())
 	size := 8 * len(bits)
 	r := beginRing(size)
 	defer r.end()
@@ -354,6 +365,7 @@ func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []flo
 	if gpusPerNode <= 0 {
 		return fmt.Errorf("%w: gpusPerNode %d", mpi.ErrBadGroup, gpusPerNode)
 	}
+	defer obsOp(mHierarchical, opStart())
 	node, err := c.NodeGroup(gpusPerNode)
 	if err != nil {
 		return fmt.Errorf("hierarchical all-reduce node group: %w", err)

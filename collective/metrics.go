@@ -1,0 +1,70 @@
+package collective
+
+import (
+	"time"
+
+	"aiacc/metrics"
+)
+
+// Collective metrics (DESIGN.md §7): one duration histogram + invocation
+// counter per algorithm (the `op` label records which algorithm actually ran
+// — what the auto-tuner's Algorithm knob selects), the wire chunk size each
+// ring op settled on, and the split between the two ring phases.
+//
+// The hot path must stay 0-alloc, so timing uses the opStart/obs pair: both
+// are plain functions (no closures), `defer obs(h, t0)` open-codes, and when
+// metrics are disabled opStart returns the zero time and obs drops the
+// sample, skipping both clock reads.
+type opMetrics struct {
+	ns  *metrics.Histogram
+	ops *metrics.Counter
+}
+
+func newOpMetrics(op string) opMetrics {
+	l := metrics.L("op", op)
+	return opMetrics{
+		ns: metrics.NewHistogram("aiacc_collective_op_ns",
+			"Collective operation wall time, by algorithm.", metrics.LatencyNs, l),
+		ops: metrics.NewCounter("aiacc_collective_ops_total",
+			"Collective operations run, by algorithm.", l),
+	}
+}
+
+var (
+	mRing         = newOpMetrics("ring_allreduce")
+	mHierarchical = newOpMetrics("hierarchical_allreduce")
+	mBroadcast    = newOpMetrics("broadcast")
+	mAllGather    = newOpMetrics("allgather")
+	mAndBits      = newOpMetrics("and_bits")
+
+	mChunkBytes = metrics.NewHistogram("aiacc_collective_chunk_wire_bytes",
+		"Encoded wire size of one ring chunk.", metrics.SizeBytes)
+	mPhaseRS = metrics.NewHistogram("aiacc_collective_phase_ns",
+		"Ring phase wall time.", metrics.LatencyNs, metrics.L("phase", "reduce_scatter"))
+	mPhaseAG = metrics.NewHistogram("aiacc_collective_phase_ns",
+		"Ring phase wall time.", metrics.LatencyNs, metrics.L("phase", "all_gather"))
+)
+
+// opStart returns the wall clock when metrics are enabled, else the zero
+// time; pair with obs/obsOp.
+func opStart() time.Time {
+	if metrics.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// obs records the elapsed time since t0, unless t0 is zero.
+func obs(h *metrics.Histogram, t0 time.Time) {
+	if !t0.IsZero() {
+		h.ObserveSince(t0)
+	}
+}
+
+// obsOp records one completed operation: wall time plus invocation count.
+func obsOp(m opMetrics, t0 time.Time) {
+	if !t0.IsZero() {
+		m.ns.ObserveSince(t0)
+		m.ops.Inc()
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"aiacc/collective"
 	"aiacc/compress"
@@ -225,6 +226,8 @@ type Engine struct {
 	remaining map[int]int       // id -> fragments still in flight
 	stats     Stats
 
+	met *engineMetrics
+
 	started bool
 	failed  error
 }
@@ -303,6 +306,8 @@ func (e *Engine) Start() error {
 	e.pushCh = make(chan push, len(grads))
 	e.data = make(map[int][]float32, len(grads))
 	e.remaining = make(map[int]int, len(grads))
+	e.met = newEngineMetrics(e.comm.Rank(), e.cfg.Streams)
+	e.publishConfig()
 	e.started = true
 	go e.loop()
 	return nil
@@ -316,9 +321,13 @@ func (e *Engine) pushLane() int { return e.cfg.Streams + 1 }
 
 func (e *Engine) coordinator() gradsync.Coordinator {
 	if e.cfg.Coordinator == Master {
-		return gradsync.NewMaster(e.comm, e.syncStream())
+		m := gradsync.NewMaster(e.comm, e.syncStream())
+		m.SetTrace(e.cfg.Trace)
+		return m
 	}
-	return gradsync.NewDecentralized(e.comm, e.syncStream())
+	d := gradsync.NewDecentralized(e.comm, e.syncStream())
+	d.SetTrace(e.cfg.Trace)
+	return d
 }
 
 // PushGradient hands a locally computed gradient to the engine. The tensor's
@@ -352,7 +361,7 @@ func (e *Engine) PushGradient(name string, grad *tensor.Tensor) error {
 	select {
 	case e.pushCh <- push{id: g.ID, data: grad.Data()}:
 		if e.cfg.Trace != nil {
-			e.cfg.Trace.Instant("push "+name, "gradient", e.pushLane(), nil)
+			e.cfg.Trace.Instant("push "+name, "gradient", e.pushLane())
 		}
 		return nil
 	case <-e.stop:
@@ -445,6 +454,7 @@ func (e *Engine) runIteration() error {
 		bytesUnsynced int64
 		seq           int
 	)
+	iterStart := clockStart()
 	total := len(e.grads)
 	record := func(p push) {
 		e.mu.Lock()
@@ -475,13 +485,15 @@ func (e *Engine) runIteration() error {
 				drained = true
 			}
 		}
-		var syncSpan *trace.Span
-		if e.cfg.Trace != nil {
-			syncSpan = e.cfg.Trace.Begin("sync round", "sync", e.syncStream())
-		}
+		syncStart := clockStart()
+		syncSpan := e.cfg.Trace.Begin("sync round", "sync", e.syncStream())
 		fresh, err := e.session.Update(e.local)
-		if syncSpan != nil {
+		if e.cfg.Trace != nil {
 			syncSpan.Arg("fresh", strconv.Itoa(len(fresh))).End()
+		}
+		if !syncStart.IsZero() {
+			e.met.syncNs.ObserveSince(syncStart)
+			e.met.freshCount.Observe(int64(len(fresh)))
 		}
 		if err != nil {
 			return err
@@ -498,6 +510,12 @@ func (e *Engine) runIteration() error {
 			return err
 		}
 		seq += len(units)
+		var roundBytes int64
+		for _, u := range units {
+			roundBytes += u.Bytes()
+			e.met.unitBytes.Observe(u.Bytes())
+		}
+		e.met.roundBytes.Observe(roundBytes)
 		e.mu.Lock()
 		for _, u := range units {
 			for _, f := range u.Fragments {
@@ -511,7 +529,22 @@ func (e *Engine) runIteration() error {
 			}
 		}
 	}
-	return e.pool.Wait()
+	// The final pool drain is the communication the iteration could not hide
+	// behind incoming pushes: the paper's non-overlapped tail.
+	tailStart := clockStart()
+	err := e.pool.Wait()
+	if !iterStart.IsZero() {
+		now := time.Now()
+		iter := now.Sub(iterStart)
+		tail := now.Sub(tailStart)
+		e.met.iterNs.Observe(iter.Nanoseconds())
+		e.met.tailNs.Observe(tail.Nanoseconds())
+		if iter > 0 {
+			e.met.overlap.Set(1 - float64(tail)/float64(iter))
+		}
+		e.met.iterations.Inc()
+	}
+	return err
 }
 
 // unitBufPool recycles the per-unit pack/unpack buffers across units and
@@ -536,9 +569,11 @@ func (e *Engine) dispatch(u packing.Unit) error {
 	err := e.pool.Submit(func(streamID int) error {
 		if e.cfg.Trace != nil {
 			span := e.cfg.Trace.Begin(fmt.Sprintf("all-reduce unit %d", u.Seq), "comm", streamID)
-			span.Arg("bytes", strconv.FormatInt(u.Bytes(), 10))
+			span = span.Arg("bytes", strconv.FormatInt(u.Bytes(), 10))
 			defer span.End()
 		}
+		busyStart := clockStart()
+		defer e.observeStreamBusy(streamID, busyStart)
 		bp := getUnitBuf(u.Elems)
 		defer unitBufPool.Put(bp)
 		buf := *bp
@@ -575,7 +610,17 @@ func (e *Engine) dispatch(u packing.Unit) error {
 	e.stats.Units++
 	e.stats.BytesReduced += u.Bytes()
 	e.mu.Unlock()
+	e.met.units.Inc()
+	e.met.bytes.Add(u.Bytes())
 	return nil
+}
+
+// observeStreamBusy accumulates one unit's all-reduce time into the stream's
+// busy counter (plain function so the deferred call open-codes).
+func (e *Engine) observeStreamBusy(streamID int, t0 time.Time) {
+	if !t0.IsZero() {
+		e.met.streamBusyNs[streamID].Add(time.Since(t0).Nanoseconds())
+	}
 }
 
 func (e *Engine) gradData(id int) ([]float32, error) {

@@ -100,7 +100,7 @@ func TestEngineTracing(t *testing.T) {
 			if !strings.HasPrefix(e.Name, "all-reduce unit") {
 				t.Errorf("unit name = %q", e.Name)
 			}
-			if e.Args["bytes"] == "" {
+			if e.Args.Get("bytes") == "" {
 				t.Error("unit span missing bytes arg")
 			}
 		}

@@ -20,7 +20,10 @@ package bufpool
 
 import (
 	"math/bits"
+	"strconv"
 	"sync"
+
+	"aiacc/metrics"
 )
 
 const (
@@ -40,6 +43,30 @@ var classes [numClasses]sync.Pool
 // boxes recycles empty *[]byte boxes between Put (which needs one) and Get
 // (which frees one).
 var boxes = sync.Pool{New: func() any { return new([]byte) }}
+
+// Pool metrics (DESIGN.md §7): per-class hit/miss counters show which size
+// classes the workload actually cycles (and thus whether granularity and pool
+// classes line up), oversize fallbacks flag frames above the 64 MiB ceiling,
+// dropped puts flag buffers the pool refuses to retain. Instruments are
+// resolved once at init; Get/Put increment a preresolved atomic.
+var (
+	classHits   [numClasses]*metrics.Counter
+	classMisses [numClasses]*metrics.Counter
+	mOversize   = metrics.NewCounter("aiacc_bufpool_oversize_gets_total",
+		"Gets above the largest size class, served by plain allocation.")
+	mDropped = metrics.NewCounter("aiacc_bufpool_dropped_puts_total",
+		"Puts outside the pooled capacity range, dropped.")
+)
+
+func init() {
+	for k := 0; k < numClasses; k++ {
+		class := metrics.L("class", strconv.Itoa(1<<(k+minClassBits)))
+		classHits[k] = metrics.NewCounter("aiacc_bufpool_hits_total",
+			"Gets satisfied from a free list, by size class capacity.", class)
+		classMisses[k] = metrics.NewCounter("aiacc_bufpool_misses_total",
+			"Gets that allocated a fresh buffer, by size class capacity.", class)
+	}
+}
 
 // classFor returns the free list guaranteed to satisfy a request for n bytes:
 // the smallest class whose minimum capacity is >= n. n must be > 0.
@@ -79,14 +106,17 @@ func Get(n int) []byte {
 	}
 	k := classFor(n)
 	if k >= numClasses {
+		mOversize.Inc()
 		return make([]byte, n)
 	}
 	b := take(k)
 	if cap(b) < n {
+		classMisses[k].Inc()
 		// Pool miss: allocate the class's full capacity so the buffer is
 		// maximally reusable when it comes back.
 		return make([]byte, n, 1<<(k+minClassBits))
 	}
+	classHits[k].Inc()
 	return b[:n]
 }
 
@@ -117,6 +147,9 @@ func take(k int) []byte {
 func Put(b []byte) {
 	k := classOf(cap(b))
 	if k < 0 {
+		if cap(b) > 0 {
+			mDropped.Inc()
+		}
 		return
 	}
 	bp := boxes.Get().(*[]byte)

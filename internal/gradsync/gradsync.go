@@ -24,11 +24,50 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"time"
 
 	"aiacc/collective"
 	"aiacc/internal/wire"
+	"aiacc/metrics"
 	"aiacc/mpi"
+	"aiacc/trace"
 )
+
+// Agreement metrics (DESIGN.md §7): round latency per coordinator flavour —
+// the decentralized/master split is exactly the scalability comparison of
+// §III — and the agreed ready-set size per round, which shows how granular
+// the paper's eager partial-bucket dispatch actually runs.
+var (
+	mDecRoundNs = metrics.NewHistogram("aiacc_gradsync_round_ns",
+		"Bit-vector agreement round wall time, by coordinator.",
+		metrics.LatencyNs, metrics.L("coordinator", "decentralized"))
+	mMasterRoundNs = metrics.NewHistogram("aiacc_gradsync_round_ns",
+		"Bit-vector agreement round wall time, by coordinator.",
+		metrics.LatencyNs, metrics.L("coordinator", "master"))
+	mReadyBits = metrics.NewHistogram("aiacc_gradsync_ready_bits",
+		"Globally agreed ready-set size per agreement round.", metrics.SmallCount)
+)
+
+// roundStart returns the wall clock when metrics are enabled, else zero.
+func roundStart() time.Time {
+	if metrics.Enabled() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observeRound records one agreement round's latency and agreed popcount.
+func observeRound(h *metrics.Histogram, t0 time.Time, global *SyncVector) {
+	if t0.IsZero() {
+		return
+	}
+	h.ObserveSince(t0)
+	pop := 0
+	for _, w := range global.bits {
+		pop += bits.OnesCount64(w)
+	}
+	mReadyBits.Observe(int64(pop))
+}
 
 // Common errors.
 var (
@@ -242,6 +281,7 @@ type Decentralized struct {
 	comm    *mpi.Comm
 	stream  int
 	scratch *SyncVector // result of the last Agree, reused across rounds
+	rec     *trace.Recorder
 }
 
 var _ Coordinator = (*Decentralized)(nil)
@@ -252,6 +292,10 @@ func NewDecentralized(comm *mpi.Comm, stream int) *Decentralized {
 	return &Decentralized{comm: comm, stream: stream}
 }
 
+// SetTrace attaches a trace recorder: each agreement round becomes a "bitvec
+// agree" span on the coordinator's stream lane.
+func (d *Decentralized) SetTrace(rec *trace.Recorder) { d.rec = rec }
+
 // Agree implements Coordinator. The result aliases the coordinator's scratch
 // vector (see Coordinator); one agreement round performs zero heap
 // allocations in this layer after the first call.
@@ -261,9 +305,13 @@ func (d *Decentralized) Agree(local *SyncVector) (*SyncVector, error) {
 	}
 	global := d.scratch
 	copy(global.bits, local.bits)
+	t0 := roundStart()
+	span := d.rec.Begin("bitvec agree", "sync", d.stream)
 	if err := collective.AndAllReduceBits(d.comm, d.stream, global.bits); err != nil {
 		return nil, fmt.Errorf("decentralized agree: %w", err)
 	}
+	span.End()
+	observeRound(mDecRoundNs, t0, global)
 	return global, nil
 }
 
@@ -276,6 +324,7 @@ type Master struct {
 	stream  int
 	scratch *SyncVector // result of the last Agree, reused across rounds
 	words   []uint64    // decode scratch for gathered vectors
+	rec     *trace.Recorder
 }
 
 var _ Coordinator = (*Master)(nil)
@@ -284,6 +333,10 @@ var _ Coordinator = (*Master)(nil)
 func NewMaster(comm *mpi.Comm, stream int) *Master {
 	return &Master{comm: comm, stream: stream}
 }
+
+// SetTrace attaches a trace recorder: each agreement round becomes a "bitvec
+// agree" span on the coordinator's stream lane.
+func (m *Master) SetTrace(rec *trace.Recorder) { m.rec = rec }
 
 // Agree implements Coordinator. The result aliases the coordinator's scratch
 // vector (see Coordinator).
@@ -298,6 +351,12 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 	if n == 1 {
 		return global, nil
 	}
+	t0 := roundStart()
+	span := m.rec.Begin("bitvec agree", "sync", m.stream)
+	defer func() {
+		span.End()
+		observeRound(mMasterRoundNs, t0, global)
+	}()
 	if m.comm.Rank() == 0 {
 		// Gather and AND every worker's vector.
 		for from := 1; from < n; from++ {

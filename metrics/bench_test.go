@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The increment-path benchmarks back DESIGN.md §7's overhead claims and the
+// `make metrics-overhead` gate: every sink must be lock-free and 0 allocs/op.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatal("lost increments")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_ns", "", LatencyNs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+	if h.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_ns", "", LatencyNs)
+	b.ReportAllocs()
+	var v atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(v.Add(1))
+		}
+	})
+	if h.Count() != uint64(b.N) {
+		b.Fatal("lost observations")
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	defer SetEnabled(true)
+	SetEnabled(false)
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// TestIncrementBenchmarksAllocFree is the hard assertion behind the
+// benchmarks above: `make metrics-overhead` runs it explicitly.
+func TestIncrementBenchmarksAllocFree(t *testing.T) {
+	for _, bench := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BenchmarkCounterInc", BenchmarkCounterInc},
+		{"BenchmarkHistogramObserve", BenchmarkHistogramObserve},
+		{"BenchmarkGaugeSet", BenchmarkGaugeSet},
+	} {
+		r := testing.Benchmark(bench.fn)
+		if a := r.AllocsPerOp(); a != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", bench.name, a)
+		}
+	}
+}

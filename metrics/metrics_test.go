@@ -1,0 +1,353 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	c.Add(-5) // negative deltas dropped
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value after negative Add = %d, want 42", got)
+	}
+	// Same (name, labels) returns the same instrument.
+	if r.Counter("test_total", "help") != c {
+		t.Fatal("get-or-create returned a different counter")
+	}
+	// Different labels: different series.
+	c2 := r.Counter("test_total", "help", L("peer", "1"))
+	if c2 == c {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+	// Label order must not matter.
+	a := r.Counter("lbl_total", "", L("a", "1"), L("b", "2"))
+	b := r.Counter("lbl_total", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var f *FloatGauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	f.Set(1.5)
+	h.Observe(10)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil receivers must read as zero")
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	f := r.FloatGauge("ratio", "")
+	f.Set(0.75)
+	if got := f.Value(); got != 0.75 {
+		t.Fatalf("float gauge = %v, want 0.75", got)
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", SmallCount)
+	SetEnabled(false)
+	c.Inc()
+	h.Observe(5)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled sinks must drop updates")
+	}
+	SetEnabled(true)
+	c.Inc()
+	h.Observe(5)
+	if c.Value() != 1 || h.Count() != 1 {
+		t.Fatal("re-enabled sinks must record")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	// MinExp=2: bounds 4, 8, 16, 32; overflow beyond.
+	h := r.Histogram("lat", "", BucketLayout{MinExp: 2, Buckets: 4})
+	for _, v := range []int64{-1, 0, 1, 4} { // all <= 4 → bucket 0
+		h.Observe(v)
+	}
+	h.Observe(5)  // bucket 1 (<=8)
+	h.Observe(8)  // bucket 1
+	h.Observe(9)  // bucket 2 (<=16)
+	h.Observe(32) // bucket 3
+	h.Observe(33) // overflow
+	h.Observe(1 << 40)
+
+	hs := snapshotHistogram(h)
+	wantCum := []uint64{4, 6, 7, 8}
+	for i, want := range wantCum {
+		if hs.Buckets[i].CumulativeCount != want {
+			t.Errorf("bucket[%d] cum = %d, want %d", i, hs.Buckets[i].CumulativeCount, want)
+		}
+	}
+	if hs.Buckets[0].UpperBound != 4 || hs.Buckets[3].UpperBound != 32 {
+		t.Errorf("bounds = %d..%d, want 4..32", hs.Buckets[0].UpperBound, hs.Buckets[3].UpperBound)
+	}
+	if hs.Count != 10 {
+		t.Errorf("Count = %d, want 10", hs.Count)
+	}
+	wantSum := int64(-1 + 0 + 1 + 4 + 5 + 8 + 9 + 32 + 33 + (1 << 40))
+	if hs.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", hs.Sum, wantSum)
+	}
+	if h.Count() != 10 || h.Sum() != wantSum {
+		t.Errorf("live Count/Sum = %d/%d, want 10/%d", h.Count(), h.Sum(), wantSum)
+	}
+	if got := hs.Mean(); math.Abs(got-float64(wantSum)/10) > 1e-9 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	assertPanics(t, "kind mismatch", func() { r.Gauge("x", "") })
+	r.Histogram("h", "", LatencyNs)
+	assertPanics(t, "layout mismatch", func() { r.Histogram("h", "", SizeBytes) })
+	assertPanics(t, "bad layout", func() { r.Histogram("bad", "", BucketLayout{MinExp: 60, Buckets: 10}) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSnapshotAndFamilyLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Counter("a_total", "first", L("rank", "0")).Add(1)
+	s := r.Snapshot()
+	if len(s.Families) != 2 || s.Families[0].Name != "a_total" || s.Families[1].Name != "b_total" {
+		t.Fatalf("families not sorted: %+v", s.Families)
+	}
+	f := s.Family("a_total")
+	if f == nil || f.Series[0].Value != 1 || f.Series[0].LabelString() != `rank="0"` {
+		t.Fatalf("Family lookup: %+v", f)
+	}
+	if s.Family("missing") != nil {
+		t.Fatal("missing family should be nil")
+	}
+}
+
+// fillTestRegistry produces the fixed state behind the golden files.
+func fillTestRegistry() *Registry {
+	r := NewRegistry()
+	tx := r.Counter("aiacc_transport_tx_bytes_total", "Payload bytes written to peers.",
+		L("peer", "1"), L("stream", "0"))
+	tx.Add(4096)
+	r.Counter("aiacc_transport_tx_bytes_total", "Payload bytes written to peers.",
+		L("peer", "1"), L("stream", "1")).Add(8192)
+	r.Gauge("aiacc_engine_streams", "Configured communication streams.").Set(4)
+	r.FloatGauge("aiacc_engine_overlap_ratio", "Fraction of iteration overlapped with compute.").Set(0.8125)
+	h := r.Histogram("aiacc_transport_send_ns", "Send latency.", BucketLayout{MinExp: 10, Buckets: 4})
+	for _, v := range []int64{900, 1024, 3000, 5000, 1 << 20} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fillTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, filepath.Join("testdata", "prometheus.golden"), buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fillTestRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid JSON regardless of golden match.
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	compareGolden(t, filepath.Join("testdata", "expvar.golden"), buf.Bytes())
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := fillTestRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(ct, "text/plain") {
+		t.Errorf("prometheus content-type = %q", ct)
+	}
+	if !strings.Contains(body, `aiacc_transport_tx_bytes_total{peer="1",stream="0"} 4096`) {
+		t.Errorf("prometheus body missing counter:\n%s", body)
+	}
+	if !strings.Contains(body, "aiacc_transport_send_ns_bucket") {
+		t.Errorf("prometheus body missing histogram buckets:\n%s", body)
+	}
+
+	body, ct = get("/metrics/vars")
+	if !strings.Contains(ct, "application/json") {
+		t.Errorf("json content-type = %q", ct)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	body, _ = get("/metrics?format=json")
+	if err := json.Unmarshal([]byte(body), &decoded); err != nil {
+		t.Fatalf("?format=json not JSON: %v", err)
+	}
+}
+
+func TestConcurrentIncrementsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshot/exposition while incrementing (exercised further
+	// under -race).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.WritePrometheus(io.Discard)
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("conc_total", "")
+			h := r.Histogram("conc_ns", "", LatencyNs)
+			g := r.Gauge("conc_gauge", "")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+				g.Set(int64(w))
+			}
+		}(w)
+	}
+	// Wait for the incrementers (all but the snapshotter).
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Let the incrementers finish, then stop the snapshotter.
+	for {
+		s := r.Snapshot()
+		if f := s.Family("conc_total"); f != nil && f.Series[0].Value == workers*perWorker {
+			break
+		}
+		select {
+		case <-done:
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+
+	if got := r.Counter("conc_total", "").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("conc_ns", "", LatencyNs).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestIncrementPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	f := r.FloatGauge("alloc_fgauge", "")
+	h := r.Histogram("alloc_ns", "", LatencyNs)
+	var i int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		c.Add(i)
+		g.Set(i)
+		f.Set(float64(i))
+		h.Observe(i)
+	})
+	if allocs != 0 {
+		t.Fatalf("increment path allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,22 +1,28 @@
-// Package trace records engine activity as a timeline and exports it in the
-// Chrome trace-event format (chrome://tracing, Perfetto). AIACC-Training
-// ships observability for production debugging (§IV); here a Recorder can be
-// attached to the live engine (engine.Config.Trace) to capture gradient
-// pushes, synchronization rounds and per-stream all-reduce spans, making the
-// multi-streamed overlap of Fig. 5 directly visible.
+// Package trace records engine and transport activity as a timeline and
+// exports it in the Chrome trace-event format (chrome://tracing, Perfetto).
+// AIACC-Training ships observability for production debugging (§IV); here a
+// Recorder can be attached to the live engine (engine.Config.Trace) and the
+// TCP transport (transport.WithTrace) to capture gradient pushes,
+// synchronization rounds, per-stream all-reduce spans and wire-level
+// send/flush/recv activity, making the multi-streamed overlap of Fig. 5
+// directly visible.
+//
+// Recording is designed to ride along with the zero-allocation data plane
+// (DESIGN.md §6): spans are value types with a small fixed argument array, so
+// Begin/Arg/End and Instant perform no per-event heap allocations once a
+// bounded recorder's ring is warm (asserted by BenchmarkSpan/TestTraceAllocs).
+// Long runs cap memory with WithMaxEvents, which turns the event log into a
+// ring buffer keeping the most recent events.
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 )
-
-// ErrClosed indicates use of a recorder after Export consumed it.
-var ErrClosed = errors.New("trace: recorder closed")
 
 // Phase constants of the Chrome trace-event format.
 const (
@@ -24,31 +30,121 @@ const (
 	phaseInstant  = "i"
 )
 
-// Event is one trace-event-format record.
+// maxSpanArgs is the per-event argument capacity. Arguments beyond it are
+// dropped; every call site in the repo uses at most three.
+const maxSpanArgs = 4
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key, Value string
+}
+
+// A is shorthand for Arg{k, v}.
+func A(k, v string) Arg { return Arg{Key: k, Value: v} }
+
+// Args is an event's annotations in recording order. It marshals as a JSON
+// object, matching what chrome://tracing and Perfetto expect under "args".
+type Args []Arg
+
+// Get returns the value for key, or "" when absent.
+func (a Args) Get(key string) string {
+	for _, kv := range a {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// MarshalJSON renders the args as a JSON object in recording order.
+func (a Args) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, kv := range a {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		k, err := json.Marshal(kv.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(kv.Value)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		buf.Write(v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// Event is one trace-event-format record, as returned by Events.
 type Event struct {
-	Name  string            `json:"name"`
-	Cat   string            `json:"cat"`
-	Phase string            `json:"ph"`
-	TSUs  int64             `json:"ts"`            // microseconds since recorder start
-	DurUs int64             `json:"dur,omitempty"` // for complete events
-	PID   int               `json:"pid"`
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Phase string `json:"ph"`
+	TSUs  int64  `json:"ts"`            // microseconds since recorder start
+	DurUs int64  `json:"dur,omitempty"` // for complete events
+	PID   int    `json:"pid"`
+	TID   int    `json:"tid"`
+	Args  Args   `json:"args,omitempty"`
+}
+
+// record is the internal fixed-size event representation: no maps, no slices,
+// so appending one to the ring allocates nothing.
+type record struct {
+	name  string
+	cat   string
+	phase byte
+	tsUs  int64
+	durUs int64
+	tid   int
+	nargs int
+	args  [maxSpanArgs]Arg
 }
 
 // Recorder collects events; it is safe for concurrent use. The zero value is
-// not usable; call NewRecorder.
+// not usable; call NewRecorder. A nil *Recorder is a valid no-op sink: Begin,
+// Instant, Len, Events and Export all tolerate it, so optional tracing needs
+// no nil checks at call sites.
 type Recorder struct {
-	mu     sync.Mutex
-	start  time.Time
-	events []Event
-	pid    int
-	now    func() time.Time
+	mu      sync.Mutex
+	start   time.Time
+	pid     int
+	now     func() time.Time
+	max     int // 0 = unbounded
+	records []record
+	next    int // ring write index once len(records) == max
+	wrapped bool
+	dropped uint64
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithMaxEvents bounds the recorder to the most recent n events: once full,
+// each new event overwrites the oldest and Dropped is incremented. n <= 0
+// leaves the recorder unbounded. Bounded recorders preallocate their ring, so
+// steady-state recording performs no allocations.
+func WithMaxEvents(n int) Option {
+	return func(r *Recorder) {
+		if n > 0 {
+			r.max = n
+		}
+	}
 }
 
 // NewRecorder returns a recorder whose clock starts now.
-func NewRecorder() *Recorder {
+func NewRecorder(opts ...Option) *Recorder {
 	r := &Recorder{pid: 1, now: time.Now}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.max > 0 {
+		r.records = make([]record, 0, r.max)
+	}
 	r.start = r.now()
 	return r
 }
@@ -57,84 +153,172 @@ func (r *Recorder) since(t time.Time) int64 {
 	return t.Sub(r.start).Microseconds()
 }
 
-// Span records a complete event covering [begin, now) on the given lane
-// (tid; the engine uses stream ids). Returned by Begin.
+// append adds rec to the log, overwriting the oldest event when bounded and
+// full. Caller holds r.mu.
+func (r *Recorder) append(rec record) {
+	if r.max > 0 && len(r.records) == r.max {
+		r.records[r.next] = rec
+		r.next++
+		if r.next == r.max {
+			r.next = 0
+		}
+		r.wrapped = true
+		r.dropped++
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// Span measures a complete event covering [Begin, End) on one lane (tid; the
+// engine uses stream ids, the transport 100*(rank+1)+stream). Span is a value
+// type: it lives on the caller's stack and recording it allocates nothing.
+// The zero Span (and any Span from a nil Recorder) is inert.
 type Span struct {
 	r     *Recorder
 	name  string
 	cat   string
 	tid   int
 	begin time.Time
-	args  map[string]string
+	nargs int
+	args  [maxSpanArgs]Arg
 }
 
-// Begin opens a span on lane tid; call End (usually deferred) to record it.
-func (r *Recorder) Begin(name, cat string, tid int) *Span {
-	return &Span{r: r, name: name, cat: cat, tid: tid, begin: r.now()}
-}
-
-// Arg attaches a key/value to the span.
-func (s *Span) Arg(key, value string) *Span {
-	if s.args == nil {
-		s.args = make(map[string]string)
+// Begin opens a span on lane tid; call End (on the returned value or at the
+// end of a chain) to record it. On a nil recorder it returns an inert span.
+func (r *Recorder) Begin(name, cat string, tid int) Span {
+	if r == nil {
+		return Span{}
 	}
-	s.args[key] = value
+	return Span{r: r, name: name, cat: cat, tid: tid, begin: r.now()}
+}
+
+// Arg attaches a key/value to the span and returns the updated span, so calls
+// chain: r.Begin(...).Arg("bytes", n).End(). Arguments beyond the fixed
+// capacity (4) are dropped.
+func (s Span) Arg(key, value string) Span {
+	if s.r == nil || s.nargs >= maxSpanArgs {
+		return s
+	}
+	s.args[s.nargs] = Arg{Key: key, Value: value}
+	s.nargs++
 	return s
 }
 
-// End records the span.
-func (s *Span) End() {
+// End records the span. Inert spans no-op.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
 	end := s.r.now()
+	rec := record{
+		name:  s.name,
+		cat:   s.cat,
+		phase: 'X',
+		tsUs:  s.r.since(s.begin),
+		durUs: end.Sub(s.begin).Microseconds(),
+		tid:   s.tid,
+		nargs: s.nargs,
+		args:  s.args,
+	}
 	s.r.mu.Lock()
-	defer s.r.mu.Unlock()
-	s.r.events = append(s.r.events, Event{
-		Name:  s.name,
-		Cat:   s.cat,
-		Phase: phaseComplete,
-		TSUs:  s.r.since(s.begin),
-		DurUs: end.Sub(s.begin).Microseconds(),
-		PID:   s.r.pid,
-		TID:   s.tid,
-		Args:  s.args,
-	})
+	s.r.append(rec)
+	s.r.mu.Unlock()
 }
 
-// Instant records a point event on lane tid.
-func (r *Recorder) Instant(name, cat string, tid int, args map[string]string) {
+// Instant records a point event on lane tid. Arguments beyond the fixed
+// capacity (4) are dropped; a nil recorder no-ops.
+func (r *Recorder) Instant(name, cat string, tid int, args ...Arg) {
+	if r == nil {
+		return
+	}
 	t := r.now()
+	rec := record{
+		name:  name,
+		cat:   cat,
+		phase: 'i',
+		tsUs:  r.since(t),
+		tid:   tid,
+	}
+	n := len(args)
+	if n > maxSpanArgs {
+		n = maxSpanArgs
+	}
+	copy(rec.args[:n], args[:n])
+	rec.nargs = n
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = append(r.events, Event{
-		Name:  name,
-		Cat:   cat,
-		Phase: phaseInstant,
-		TSUs:  r.since(t),
-		PID:   r.pid,
-		TID:   tid,
-		Args:  args,
-	})
+	r.append(rec)
+	r.mu.Unlock()
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return len(r.records)
 }
 
-// Events returns a copy of the recorded events in recording order.
-func (r *Recorder) Events() []Event {
+// Dropped returns how many events a bounded recorder has overwritten.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	return r.dropped
+}
+
+// Events returns a copy of the retained events in recording order (oldest
+// first, even after a bounded recorder wraps).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.records))
+	emit := func(recs []record) {
+		for i := range recs {
+			out = append(out, eventFromRecord(&recs[i], r.pid))
+		}
+	}
+	if r.wrapped {
+		emit(r.records[r.next:])
+		emit(r.records[:r.next])
+	} else {
+		emit(r.records)
+	}
 	return out
+}
+
+func eventFromRecord(rec *record, pid int) Event {
+	e := Event{
+		Name:  rec.name,
+		Cat:   rec.cat,
+		Phase: phaseInstant,
+		TSUs:  rec.tsUs,
+		DurUs: rec.durUs,
+		PID:   pid,
+		TID:   rec.tid,
+	}
+	if rec.phase == 'X' {
+		e.Phase = phaseComplete
+	}
+	if rec.nargs > 0 {
+		e.Args = append(Args(nil), rec.args[:rec.nargs]...)
+	}
+	return e
 }
 
 // Export writes the events as a Chrome trace-event JSON array. The recorder
 // remains usable; Export can be called repeatedly as the timeline grows.
 func (r *Recorder) Export(w io.Writer) error {
 	events := r.Events()
+	if events == nil {
+		events = []Event{}
+	}
 	enc := json.NewEncoder(w)
 	// The trace-event format accepts a bare JSON array of events.
 	if err := enc.Encode(events); err != nil {

@@ -21,8 +21,7 @@ func fixedClock(start time.Time, step time.Duration) func() time.Time {
 func TestSpanRecording(t *testing.T) {
 	r := NewRecorder()
 	r.now = fixedClock(r.start, time.Millisecond)
-	s := r.Begin("all-reduce unit 0", "comm", 2).Arg("bytes", "4096")
-	s.End()
+	r.Begin("all-reduce unit 0", "comm", 2).Arg("bytes", "4096").End()
 	events := r.Events()
 	if len(events) != 1 {
 		t.Fatalf("events = %d", len(events))
@@ -34,25 +33,79 @@ func TestSpanRecording(t *testing.T) {
 	if e.DurUs != 1000 {
 		t.Errorf("duration = %dus, want 1000", e.DurUs)
 	}
-	if e.Args["bytes"] != "4096" {
+	if e.Args.Get("bytes") != "4096" {
 		t.Errorf("args = %v", e.Args)
+	}
+}
+
+func TestSpanArgOverflowDropped(t *testing.T) {
+	r := NewRecorder()
+	s := r.Begin("s", "c", 0)
+	for i := 0; i < maxSpanArgs+3; i++ {
+		s = s.Arg(string(rune('a'+i)), "v")
+	}
+	s.End()
+	e := r.Events()[0]
+	if len(e.Args) != maxSpanArgs {
+		t.Fatalf("args = %d, want %d", len(e.Args), maxSpanArgs)
+	}
+	if e.Args.Get("a") != "v" || e.Args.Get(string(rune('a'+maxSpanArgs))) != "" {
+		t.Errorf("wrong args kept: %v", e.Args)
 	}
 }
 
 func TestInstantRecording(t *testing.T) {
 	r := NewRecorder()
-	r.Instant("push w", "gradient", 5, map[string]string{"k": "v"})
+	r.Instant("push w", "gradient", 5, A("k", "v"))
 	events := r.Events()
 	if len(events) != 1 || events[0].Phase != "i" || events[0].TID != 5 {
 		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Args.Get("k") != "v" {
+		t.Errorf("args = %v", events[0].Args)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Begin("a", "b", 0).Arg("k", "v").End()
+	r.Instant("a", "b", 0)
+	var zero Span
+	zero.Arg("k", "v").End()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must read as empty")
+	}
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatalf("nil export: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("nil export wrote %q", got)
+	}
+}
+
+func TestArgsMarshalJSON(t *testing.T) {
+	a := Args{{"bytes", "4096"}, {"fresh", "3"}}
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"bytes":"4096","fresh":"3"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var decoded map[string]string
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded["bytes"] != "4096" || decoded["fresh"] != "3" {
+		t.Fatalf("decoded = %v", decoded)
 	}
 }
 
 func TestExportIsValidChromeTraceJSON(t *testing.T) {
 	r := NewRecorder()
-	r.Instant("a", "x", 0, nil)
-	s := r.Begin("b", "y", 1)
-	s.End()
+	r.Instant("a", "x", 0)
+	r.Begin("b", "y", 1).Arg("k", "v").End()
 	var buf bytes.Buffer
 	if err := r.Export(&buf); err != nil {
 		t.Fatal(err)
@@ -71,10 +124,52 @@ func TestExportIsValidChromeTraceJSON(t *testing.T) {
 			}
 		}
 	}
+	if args, ok := decoded[1]["args"].(map[string]any); !ok || args["k"] != "v" {
+		t.Errorf("args did not marshal as an object: %v", decoded[1]["args"])
+	}
 	// Export is repeatable and the recorder remains usable.
-	r.Instant("c", "x", 0, nil)
+	r.Instant("c", "x", 0)
 	if r.Len() != 3 {
 		t.Errorf("Len = %d after post-export record", r.Len())
+	}
+}
+
+func TestMaxEventsRing(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(4))
+	r.now = fixedClock(r.start, time.Microsecond)
+	for i := 0; i < 10; i++ {
+		r.Instant(string(rune('a'+i)), "c", i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	events := r.Events()
+	// Oldest-first: events g, h, i, j (indices 6..9).
+	for i, e := range events {
+		if want := string(rune('a' + 6 + i)); e.Name != want {
+			t.Errorf("events[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+	// Timestamps must stay monotone across the wrap point.
+	for i := 1; i < len(events); i++ {
+		if events[i].TSUs < events[i-1].TSUs {
+			t.Errorf("timestamps out of order after wrap: %v", events)
+		}
+	}
+}
+
+func TestMaxEventsBelowCapacityBehavesNormally(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(100))
+	r.Instant("a", "c", 0)
+	r.Begin("b", "c", 1).End()
+	if r.Len() != 2 || r.Dropped() != 0 {
+		t.Fatalf("Len/Dropped = %d/%d", r.Len(), r.Dropped())
+	}
+	if names := r.Events(); names[0].Name != "a" || names[1].Name != "b" {
+		t.Fatalf("events = %+v", names)
 	}
 }
 
@@ -87,9 +182,9 @@ func TestConcurrentRecording(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				if i%2 == 0 {
-					r.Instant("i", "c", g, nil)
+					r.Instant("i", "c", g)
 				} else {
-					r.Begin("s", "c", g).End()
+					r.Begin("s", "c", g).Arg("k", "v").End()
 				}
 			}
 		}(g)
@@ -100,12 +195,71 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestConcurrentRecordingBounded(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(64))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Begin("s", "c", g).End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
+	}
+	if r.Dropped() != 800-64 {
+		t.Errorf("Dropped = %d, want %d", r.Dropped(), 800-64)
+	}
+}
+
 func TestEventsIsCopy(t *testing.T) {
 	r := NewRecorder()
-	r.Instant("a", "x", 0, nil)
+	r.Instant("a", "x", 0, A("k", "v"))
 	ev := r.Events()
 	ev[0].Name = "mutated"
-	if r.Events()[0].Name != "a" {
+	ev[0].Args[0].Value = "mutated"
+	fresh := r.Events()
+	if fresh[0].Name != "a" || fresh[0].Args.Get("k") != "v" {
 		t.Error("Events must return a copy")
+	}
+}
+
+// TestTraceAllocs pins the hot path: once a bounded recorder's ring is warm,
+// Begin/Arg/End and Instant allocate nothing (ISSUE 3 satellite: tracing must
+// ride along with the 0-alloc data plane).
+func TestTraceAllocs(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(128))
+	for i := 0; i < 256; i++ { // warm the ring past the wrap point
+		r.Begin("warm", "c", 0).End()
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		r.Begin("span", "comm", 1).Arg("bytes", "4096").End()
+	}); a != 0 {
+		t.Errorf("span path allocates: %v allocs/op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		r.Instant("pt", "comm", 1, A("k", "v"))
+	}); a != 0 {
+		t.Errorf("instant path allocates: %v allocs/op", a)
+	}
+}
+
+func BenchmarkSpan(b *testing.B) {
+	r := NewRecorder(WithMaxEvents(1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Begin("span", "comm", 1).Arg("bytes", "4096").End()
+	}
+}
+
+func BenchmarkInstant(b *testing.B) {
+	r := NewRecorder(WithMaxEvents(1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Instant("pt", "comm", 1, A("k", "v"))
 	}
 }

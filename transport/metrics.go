@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"strconv"
+
+	"aiacc/metrics"
+	"aiacc/trace"
+)
+
+// Transport metrics (DESIGN.md §7). Per-(peer, stream) series quantify how
+// evenly the paper's multi-stream mesh spreads traffic across sockets; the
+// flush-batch and queue-depth histograms show how well the combining writer
+// is coalescing concurrent frames into single writev calls.
+//
+// Instruments are resolved once per endpoint at mesh construction and kept in
+// index-addressed slices (peer*streams+stream), so the data plane increments
+// an atomic directly — no map lookups, no label rendering, no allocations.
+var (
+	mHandshakes = metrics.NewCounter("aiacc_transport_handshakes_total",
+		"Mesh handshakes accepted.")
+	mBindRetries = metrics.NewCounter("aiacc_transport_bind_retries_total",
+		"Listener bind retries after transient EADDRINUSE.")
+)
+
+// tcpMetrics is one endpoint's bundle of transport instruments.
+type tcpMetrics struct {
+	// Indexed peer*streams+stream.
+	txBytes, txFrames []*metrics.Counter
+	rxBytes, rxFrames []*metrics.Counter
+
+	sendNs     *metrics.Histogram // Send enqueue-to-written latency
+	flushNs    *metrics.Histogram // one writev batch wall time
+	flushBatch *metrics.Histogram // frames per writev
+	queueDepth *metrics.Histogram // combining-writer queue depth at enqueue
+	inboxOcc   *metrics.Histogram // inbox occupancy seen by Recv
+	recvWaitNs *metrics.Histogram // Recv blocking time
+}
+
+func newTCPMetrics(rank, size, streams int) *tcpMetrics {
+	m := &tcpMetrics{
+		txBytes:  make([]*metrics.Counter, size*streams),
+		txFrames: make([]*metrics.Counter, size*streams),
+		rxBytes:  make([]*metrics.Counter, size*streams),
+		rxFrames: make([]*metrics.Counter, size*streams),
+	}
+	rankL := metrics.L("rank", strconv.Itoa(rank))
+	for peer := 0; peer < size; peer++ {
+		if peer == rank {
+			continue
+		}
+		peerL := metrics.L("peer", strconv.Itoa(peer))
+		for s := 0; s < streams; s++ {
+			idx := peer*streams + s
+			streamL := metrics.L("stream", strconv.Itoa(s))
+			m.txBytes[idx] = metrics.NewCounter("aiacc_transport_tx_bytes_total",
+				"Payload bytes sent, by destination peer and stream.", rankL, peerL, streamL)
+			m.txFrames[idx] = metrics.NewCounter("aiacc_transport_tx_frames_total",
+				"Frames sent, by destination peer and stream.", rankL, peerL, streamL)
+			m.rxBytes[idx] = metrics.NewCounter("aiacc_transport_rx_bytes_total",
+				"Payload bytes received, by source peer and stream.", rankL, peerL, streamL)
+			m.rxFrames[idx] = metrics.NewCounter("aiacc_transport_rx_frames_total",
+				"Frames received, by source peer and stream.", rankL, peerL, streamL)
+		}
+	}
+	m.sendNs = metrics.NewHistogram("aiacc_transport_send_ns",
+		"Send latency: enqueue to frame on the wire.", metrics.LatencyNs, rankL)
+	m.flushNs = metrics.NewHistogram("aiacc_transport_flush_ns",
+		"Combining-writer writev batch wall time.", metrics.LatencyNs, rankL)
+	m.flushBatch = metrics.NewHistogram("aiacc_transport_flush_batch_frames",
+		"Frames coalesced per writev.", metrics.SmallCount, rankL)
+	m.queueDepth = metrics.NewHistogram("aiacc_transport_queue_depth",
+		"Combining-writer queue depth observed at enqueue.", metrics.SmallCount, rankL)
+	m.inboxOcc = metrics.NewHistogram("aiacc_transport_inbox_occupancy",
+		"Read-ahead inbox occupancy observed by Recv.", metrics.SmallCount, rankL)
+	m.recvWaitNs = metrics.NewHistogram("aiacc_transport_recv_wait_ns",
+		"Recv blocking time waiting for the next frame.", metrics.LatencyNs, rankL)
+	return m
+}
+
+// WithTrace attaches a trace recorder to the TCP data plane: each writev
+// flush and each decoded frame becomes a span, on lane 100*(rank+1)+stream
+// (transport lanes sit above the engine's stream lanes so Perfetto shows wire
+// activity under the compute/comm rows that triggered it).
+func WithTrace(rec *trace.Recorder) TCPOption {
+	return func(c *tcpConfig) { c.trace = rec }
+}
+
+// traceLane maps (rank, stream) to a transport trace lane.
+func traceLane(rank, stream int) int { return 100*(rank+1) + stream }

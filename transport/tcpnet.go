@@ -7,9 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
+	"time"
 
 	"aiacc/internal/bufpool"
+	"aiacc/metrics"
+	"aiacc/trace"
 )
 
 // tcpNetwork is a Network whose ranks exchange messages over real TCP
@@ -71,6 +75,7 @@ type tcpConfig struct {
 	sndBuf      int
 	rcvBuf      int
 	noDelay     bool
+	trace       *trace.Recorder
 }
 
 func defaultTCPConfig() tcpConfig {
@@ -300,6 +305,11 @@ type connWriter struct {
 	hdrs []byte
 	vecs [][]byte
 	bufs net.Buffers
+
+	// Observability (set once at endpoint construction, read-only after).
+	met  *tcpMetrics
+	rec  *trace.Recorder
+	lane int
 }
 
 func newConnWriter() *connWriter {
@@ -339,6 +349,7 @@ func (w *connWriter) send(data []byte) error {
 	w.seq++
 	seq := w.seq
 	w.queue = append(w.queue, data)
+	w.met.queueDepth.Observe(int64(len(w.queue)))
 	for {
 		if w.done >= seq {
 			// Report the sticky error only to frames that were not part of a
@@ -371,8 +382,20 @@ func (w *connWriter) flushLocked() {
 	conn := w.conn
 	w.mu.Unlock()
 
+	w.met.flushBatch.Observe(int64(len(batch)))
+	var t0 time.Time
+	if metrics.Enabled() {
+		t0 = time.Now()
+	}
+	span := w.rec.Begin("tcp flush", "wire", w.lane)
 	if err == nil {
 		err = w.writeFrames(conn, batch)
+	}
+	if w.rec != nil {
+		span.Arg("frames", strconv.Itoa(len(batch))).End()
+	}
+	if !t0.IsZero() {
+		w.met.flushNs.ObserveSince(t0)
 	}
 	for _, b := range batch {
 		bufpool.Put(b)
@@ -443,6 +466,8 @@ type tcpEndpoint struct {
 	readerWG  sync.WaitGroup
 	closeOnce sync.Once
 	closed    chan struct{}
+
+	met *tcpMetrics
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
@@ -457,9 +482,14 @@ func newTCPEndpoint(rank, size, streams int, cfg tcpConfig) *tcpEndpoint {
 		inbox:     make([]chan []byte, size*streams),
 		readerErr: make([]error, size*streams),
 		closed:    make(chan struct{}),
+		met:       newTCPMetrics(rank, size, streams),
 	}
 	for i := range ep.inbox {
-		ep.out[i] = newConnWriter()
+		w := newConnWriter()
+		w.met = ep.met
+		w.rec = cfg.trace
+		w.lane = traceLane(rank, i%streams)
+		ep.out[i] = w
 		ep.inbox[i] = make(chan []byte, cfg.inboxDepth)
 	}
 	return ep
@@ -502,6 +532,7 @@ func (e *tcpEndpoint) acceptAll(l net.Listener, expect int) error {
 			return fmt.Errorf("%w: rank %d stream %d", ErrDuplicatePeer, from, stream)
 		}
 		seen[idx] = true
+		mHandshakes.Inc()
 		e.cfg.apply(conn)
 		e.readerWG.Add(1)
 		go e.readLoop(conn, from, stream)
@@ -532,15 +563,19 @@ func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 	}()
 
 	idx := from*e.streams + stream
-	e.readerErr[idx] = e.readFrames(conn, e.inbox[idx])
+	e.readerErr[idx] = e.readFrames(conn, e.inbox[idx], idx, stream)
 	close(e.inbox[idx])
 }
 
 // readFrames is readLoop's decode loop; the error it returns says why the
 // stream ended. Pooled payloads that never reach the inbox go back to the
-// pool.
-func (e *tcpEndpoint) readFrames(conn net.Conn, inbox chan []byte) error {
+// pool. Each decoded frame bumps the per-(peer, stream) receive counters and,
+// when the transport is traced, records a "tcp recv" span covering the
+// payload read.
+func (e *tcpEndpoint) readFrames(conn net.Conn, inbox chan []byte, idx, stream int) error {
 	br := bufio.NewReaderSize(conn, e.cfg.readBufSize)
+	rec := e.cfg.trace
+	lane := traceLane(e.rank, stream)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -550,11 +585,17 @@ func (e *tcpEndpoint) readFrames(conn net.Conn, inbox chan []byte) error {
 		if size > maxFrameBytes {
 			return fmt.Errorf("%w: length header claims %d bytes", ErrFrameTooLarge, size)
 		}
+		span := rec.Begin("tcp recv", "wire", lane)
 		payload := bufpool.Get(int(size))
 		if _, err := io.ReadFull(br, payload); err != nil {
 			bufpool.Put(payload)
 			return fmt.Errorf("read payload: %w", err)
 		}
+		if rec != nil {
+			span.Arg("bytes", strconv.Itoa(int(size))).End()
+		}
+		e.met.rxBytes[idx].Add(int64(size))
+		e.met.rxFrames[idx].Inc()
 		select {
 		case inbox <- payload:
 		case <-e.closed:
@@ -588,12 +629,23 @@ func (e *tcpEndpoint) Send(to, stream int, data []byte) error {
 		return ErrClosed
 	default:
 	}
-	if err := e.out[to*e.streams+stream].send(data); err != nil {
+	idx := to*e.streams + stream
+	size := int64(len(data))
+	var t0 time.Time
+	if metrics.Enabled() {
+		t0 = time.Now()
+	}
+	if err := e.out[idx].send(data); err != nil {
 		if errors.Is(err, ErrClosed) {
 			return ErrClosed
 		}
 		return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream, err)
 	}
+	if !t0.IsZero() {
+		e.met.sendNs.ObserveSince(t0)
+	}
+	e.met.txBytes[idx].Add(size)
+	e.met.txFrames[idx].Inc()
 	return nil
 }
 
@@ -604,10 +656,16 @@ func (e *tcpEndpoint) Recv(from, stream int) ([]byte, error) {
 	if err := checkStream(stream, e.streams); err != nil {
 		return nil, err
 	}
+	inbox := e.inbox[from*e.streams+stream]
+	e.met.inboxOcc.Observe(int64(len(inbox)))
+	var t0 time.Time
+	if metrics.Enabled() {
+		t0 = time.Now()
+	}
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
-	case data, ok := <-e.inbox[from*e.streams+stream]:
+	case data, ok := <-inbox:
 		if !ok {
 			// The reader for this stream exited. A protocol violation (e.g.
 			// an oversized length header) is worth naming — it means a peer
@@ -617,6 +675,9 @@ func (e *tcpEndpoint) Recv(from, stream int) ([]byte, error) {
 				return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, err)
 			}
 			return nil, ErrClosed
+		}
+		if !t0.IsZero() {
+			e.met.recvWaitNs.ObserveSince(t0)
 		}
 		return data, nil
 	}

@@ -177,6 +177,7 @@ func listenRetry(addr string, attempts int, delay time.Duration) (net.Listener, 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			mBindRetries.Inc()
 			time.Sleep(delay)
 		}
 		l, err := net.Listen("tcp", addr)
