@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: ci build test vet race bench-smoke metrics-overhead bench bench-tcp
+.PHONY: ci build test vet race bench-smoke metrics-overhead bench bench-tcp bench-seg
 
 ci: vet build test race bench-smoke metrics-overhead
 
@@ -23,7 +23,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... .
+	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... ./internal/sendpool/... .
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Live|Codec|TCP' -benchtime 1x .
@@ -43,3 +43,8 @@ bench:
 # Just the real-socket data plane (the BENCH_pr2.json numbers).
 bench-tcp:
 	$(GO) test -run XXX -bench TCP -benchtime 200x .
+
+# Pipelined segmented ring same-binary A/B: serial reference vs pipelined
+# arms over real TCP with the fp16 codec (the BENCH_pr4.json numbers).
+bench-seg:
+	$(GO) test -run XXX -bench 'BenchmarkRingAllReduceTCP/4ranks/.*elems/fp16' -benchtime 30x -count 3 .

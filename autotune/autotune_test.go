@@ -17,12 +17,12 @@ func syntheticCost(space Space, opt Params) Evaluator {
 	return func(p Params, iters int) float64 {
 		x := space.Normalize(p)
 		var d2 float64
-		for i := 0; i < 3; i++ {
+		for i := 0; i < 4; i++ {
 			d := x[i] - target[i]
 			d2 += d * d
 		}
 		// Mild deterministic ripple so searchers see realistic structure.
-		ripple := 0.01 * math.Sin(13*x[0]+7*x[1]+3*x[2])
+		ripple := 0.01 * math.Sin(13*x[0]+7*x[1]+3*x[2]+5*x[3])
 		return 0.1 + d2 + ripple
 	}
 }
@@ -32,8 +32,8 @@ func TestSpaceBasics(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if s.Size() != 7*8*2 {
-		t.Errorf("Size = %d, want 112", s.Size())
+	if s.Size() != 7*8*2*5 {
+		t.Errorf("Size = %d, want 560", s.Size())
 	}
 	// At/Index round-trip over the full space.
 	for i := 0; i < s.Size(); i++ {
@@ -56,7 +56,7 @@ func TestSpaceBasics(t *testing.T) {
 
 func TestSpaceNeighbor(t *testing.T) {
 	s := DefaultSpace()
-	p := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing}
+	p := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing, SegmentBytes: 256 << 10}
 	up := s.Neighbor(p, 0, 1)
 	if up.Streams != 12 {
 		t.Errorf("streams neighbor = %d, want 12", up.Streams)
@@ -69,10 +69,17 @@ func TestSpaceNeighbor(t *testing.T) {
 	if flip.Algorithm != AlgoTree {
 		t.Errorf("algorithm neighbor = %s", flip.Algorithm)
 	}
+	seg := s.Neighbor(p, 3, 1)
+	if seg.SegmentBytes != 1<<20 {
+		t.Errorf("segment neighbor = %d", seg.SegmentBytes)
+	}
 	// Clamping at the boundary.
-	edge := Params{Streams: 24, GranularityBytes: 64 << 20, Algorithm: AlgoTree}
+	edge := Params{Streams: 24, GranularityBytes: 64 << 20, Algorithm: AlgoTree, SegmentBytes: 4 << 20}
 	if got := s.Neighbor(edge, 0, 1); got.Streams != 24 {
 		t.Error("neighbor must clamp at the top")
+	}
+	if got := s.Neighbor(edge, 3, 1); got.SegmentBytes != 4<<20 {
+		t.Error("segment neighbor must clamp at the top")
 	}
 }
 
@@ -80,18 +87,18 @@ func TestNormalizeRange(t *testing.T) {
 	s := DefaultSpace()
 	for i := 0; i < s.Size(); i++ {
 		v := s.Normalize(s.At(i))
-		for d := 0; d < 3; d++ {
+		for d := 0; d < 4; d++ {
 			if v[d] < 0 || v[d] > 1 {
 				t.Fatalf("Normalize(%v)[%d] = %v out of [0,1]", s.At(i), d, v[d])
 			}
 		}
 	}
-	lo := s.Normalize(Params{Streams: 1, GranularityBytes: 512 << 10, Algorithm: AlgoRing})
-	hi := s.Normalize(Params{Streams: 24, GranularityBytes: 64 << 20, Algorithm: AlgoTree})
-	if lo != [3]float64{0, 0, 0} {
+	lo := s.Normalize(Params{Streams: 1, GranularityBytes: 512 << 10, Algorithm: AlgoRing, SegmentBytes: 64 << 10})
+	hi := s.Normalize(Params{Streams: 24, GranularityBytes: 64 << 20, Algorithm: AlgoTree, SegmentBytes: 4 << 20})
+	if lo != [4]float64{0, 0, 0, 0} {
 		t.Errorf("low corner = %v", lo)
 	}
-	if hi != [3]float64{1, 1, 1} {
+	if hi != [4]float64{1, 1, 1, 1} {
 		t.Errorf("high corner = %v", hi)
 	}
 }
@@ -100,7 +107,7 @@ func TestNormalizeRange(t *testing.T) {
 // budget on the synthetic surface.
 func TestSearchersConverge(t *testing.T) {
 	space := DefaultSpace()
-	opt := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing}
+	opt := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing, SegmentBytes: 256 << 10}
 	eval := syntheticCost(space, opt)
 	mk := map[string]func() Searcher{
 		"grid":      func() Searcher { return NewGrid(space) },
@@ -139,7 +146,7 @@ func TestSearchersConverge(t *testing.T) {
 
 func TestMetaFindsOptimum(t *testing.T) {
 	space := DefaultSpace()
-	opt := Params{Streams: 12, GranularityBytes: 4 << 20, Algorithm: AlgoRing}
+	opt := Params{Streams: 12, GranularityBytes: 4 << 20, Algorithm: AlgoRing, SegmentBytes: 128 << 10}
 	eval := syntheticCost(space, opt)
 	m, err := NewMeta(DefaultEnsemble(space, 42))
 	if err != nil {
@@ -152,7 +159,7 @@ func TestMetaFindsOptimum(t *testing.T) {
 	// The found point must be close to the optimum on the surface.
 	bx, ox := space.Normalize(best), space.Normalize(opt)
 	var d2 float64
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 4; i++ {
 		d := bx[i] - ox[i]
 		d2 += d * d
 	}
@@ -236,7 +243,7 @@ func TestCacheWarmStart(t *testing.T) {
 	c := NewCache(0)
 	rn50 := model.ResNet50()
 	topo32 := netmodel.V100Cluster(32)
-	tuned := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing}
+	tuned := Params{Streams: 8, GranularityBytes: 8 << 20, Algorithm: AlgoRing, SegmentBytes: 256 << 10}
 	c.Store(rn50, topo32, tuned)
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d", c.Len())

@@ -22,6 +22,8 @@ var (
 		"Streams setting of the current best configuration.")
 	mBestGranularity = metrics.NewGauge("aiacc_autotune_best_granularity_bytes",
 		"Granularity of the current best configuration.")
+	mBestSegment = metrics.NewGauge("aiacc_autotune_best_segment_bytes",
+		"Ring wire-pipelining segment size of the current best configuration.")
 )
 
 // armMetrics resolves the per-searcher instruments; names repeat across Meta
@@ -200,6 +202,7 @@ func (m *Meta) Tune(eval Evaluator, budget int) (Params, error) {
 			mBestCost.Set(cost)
 			mBestStreams.Set(int64(prop.Params.Streams))
 			mBestGranularity.Set(prop.Params.GranularityBytes)
+			mBestSegment.Set(prop.Params.SegmentBytes)
 		}
 		m.searchers[t].Observe(prop, cost)
 		m.window = append(m.window, windowEntry{searcher: t, newBest: newBest})

@@ -1,6 +1,7 @@
 // Package autotune finds the gradient-communication hyper-parameters of
 // AIACC-Training at runtime (§VI): the number of concurrent communication
-// streams, the all-reduce unit granularity and the all-reduce algorithm.
+// streams, the all-reduce unit granularity, the all-reduce algorithm and the
+// ring wire-pipelining segment size.
 //
 // The search problem is formulated as a multi-armed bandit over an ensemble
 // of search techniques — grid search, population based training, Bayesian
@@ -37,12 +38,15 @@ type Params struct {
 	GranularityBytes int64
 	// Algorithm is AlgoRing or AlgoTree.
 	Algorithm string
+	// SegmentBytes is the ring wire-pipelining segment size (fp32 data bytes
+	// per wire frame).
+	SegmentBytes int64
 }
 
 // String implements fmt.Stringer.
 func (p Params) String() string {
-	return fmt.Sprintf("{streams=%d granularity=%dKiB algo=%s}",
-		p.Streams, p.GranularityBytes>>10, p.Algorithm)
+	return fmt.Sprintf("{streams=%d granularity=%dKiB algo=%s segment=%dKiB}",
+		p.Streams, p.GranularityBytes>>10, p.Algorithm, p.SegmentBytes>>10)
 }
 
 // Space is the discrete search space.
@@ -53,37 +57,44 @@ type Space struct {
 	Granularities []int64
 	// Algorithms lists candidate all-reduce algorithms.
 	Algorithms []string
+	// Segments lists candidate ring pipelining segment sizes in bytes,
+	// ascending.
+	Segments []int64
 }
 
 // DefaultSpace returns the space AIACC-Training searches in production:
-// 2-24 streams (§VIII-D), 512 KiB - 64 MiB units, ring and tree all-reduce.
+// 2-24 streams (§VIII-D), 512 KiB - 64 MiB units, ring and tree all-reduce,
+// 64 KiB - 4 MiB wire segments.
 func DefaultSpace() Space {
 	return Space{
 		Streams:       []int{1, 2, 4, 8, 12, 16, 24},
 		Granularities: []int64{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
 		Algorithms:    []string{AlgoRing, AlgoTree},
+		Segments:      []int64{64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20},
 	}
 }
 
 // Validate checks the space is non-empty in every dimension.
 func (s Space) Validate() error {
-	if len(s.Streams) == 0 || len(s.Granularities) == 0 || len(s.Algorithms) == 0 {
-		return fmt.Errorf("%w: %d streams x %d granularities x %d algorithms",
-			ErrBadSpace, len(s.Streams), len(s.Granularities), len(s.Algorithms))
+	if len(s.Streams) == 0 || len(s.Granularities) == 0 || len(s.Algorithms) == 0 || len(s.Segments) == 0 {
+		return fmt.Errorf("%w: %d streams x %d granularities x %d algorithms x %d segments",
+			ErrBadSpace, len(s.Streams), len(s.Granularities), len(s.Algorithms), len(s.Segments))
 	}
 	return nil
 }
 
 // Size returns the number of points.
 func (s Space) Size() int {
-	return len(s.Streams) * len(s.Granularities) * len(s.Algorithms)
+	return len(s.Streams) * len(s.Granularities) * len(s.Algorithms) * len(s.Segments)
 }
 
-// At returns point i in lexicographic (algorithm, streams, granularity)
-// order; i is taken modulo Size.
+// At returns point i in lexicographic (algorithm, streams, granularity,
+// segment) order; i is taken modulo Size.
 func (s Space) At(i int) Params {
 	n := s.Size()
 	i = ((i % n) + n) % n
+	sg := i % len(s.Segments)
+	i /= len(s.Segments)
 	g := i % len(s.Granularities)
 	i /= len(s.Granularities)
 	st := i % len(s.Streams)
@@ -93,6 +104,7 @@ func (s Space) At(i int) Params {
 		Streams:          s.Streams[st],
 		GranularityBytes: s.Granularities[g],
 		Algorithm:        s.Algorithms[a],
+		SegmentBytes:     s.Segments[sg],
 	}
 }
 
@@ -102,13 +114,14 @@ func (s Space) Index(p Params) int {
 	st := indexOfInt(s.Streams, p.Streams)
 	g := indexOfInt64(s.Granularities, p.GranularityBytes)
 	a := indexOfString(s.Algorithms, p.Algorithm)
-	if st < 0 || g < 0 || a < 0 {
+	sg := indexOfInt64(s.Segments, p.SegmentBytes)
+	if st < 0 || g < 0 || a < 0 || sg < 0 {
 		return -1
 	}
-	return (a*len(s.Streams)+st)*len(s.Granularities) + g
+	return ((a*len(s.Streams)+st)*len(s.Granularities)+g)*len(s.Segments) + sg
 }
 
-// Neighbor returns p with one dimension moved by one step (dim in 0..2,
+// Neighbor returns p with one dimension moved by one step (dim in 0..3,
 // dir ±1), clamped to the space — the PBT explore move.
 func (s Space) Neighbor(p Params, dim, dir int) Params {
 	switch dim {
@@ -118,17 +131,20 @@ func (s Space) Neighbor(p Params, dim, dir int) Params {
 	case 1:
 		i := clamp(indexOfInt64(s.Granularities, p.GranularityBytes)+dir, 0, len(s.Granularities)-1)
 		p.GranularityBytes = s.Granularities[i]
-	default:
+	case 2:
 		i := clamp(indexOfString(s.Algorithms, p.Algorithm)+dir, 0, len(s.Algorithms)-1)
 		p.Algorithm = s.Algorithms[i]
+	default:
+		i := clamp(indexOfInt64(s.Segments, p.SegmentBytes)+dir, 0, len(s.Segments)-1)
+		p.SegmentBytes = s.Segments[i]
 	}
 	return p
 }
 
-// Normalize maps p to [0,1]^3 for the Bayesian optimizer's kernel: log-scale
+// Normalize maps p to [0,1]^4 for the Bayesian optimizer's kernel: log-scale
 // positions within each dimension.
-func (s Space) Normalize(p Params) [3]float64 {
-	var v [3]float64
+func (s Space) Normalize(p Params) [4]float64 {
+	var v [4]float64
 	if len(s.Streams) > 1 {
 		v[0] = logPos(float64(p.Streams), float64(s.Streams[0]), float64(s.Streams[len(s.Streams)-1]))
 	}
@@ -137,6 +153,9 @@ func (s Space) Normalize(p Params) [3]float64 {
 	}
 	if i := indexOfString(s.Algorithms, p.Algorithm); i > 0 && len(s.Algorithms) > 1 {
 		v[2] = float64(i) / float64(len(s.Algorithms)-1)
+	}
+	if len(s.Segments) > 1 {
+		v[3] = logPos(float64(p.SegmentBytes), float64(s.Segments[0]), float64(s.Segments[len(s.Segments)-1]))
 	}
 	return v
 }

@@ -272,6 +272,17 @@ func BenchmarkRingAllReduceLive(b *testing.B) {
 // BenchmarkRingAllReduceLive for why the harness adds no per-iteration
 // allocations).
 func benchRingAllReduce(b *testing.B, net transport.Network, elems int) {
+	benchRingAllReduceCodec(b, net, elems, compress.FP32{}, tensor.OpSum)
+}
+
+// benchRingAllReduceCodec is benchRingAllReduce with an explicit wire codec,
+// reduce op and collective options (segment size for the pipelined ring).
+// The op matters for fp16: OpMax keeps the data fixed across iterations (max
+// is idempotent), so values stay in the normal half range and the SWAR
+// encode fast path — the steady state for real gradients — is what gets
+// measured, not the subnormal scalar fallback that all-zero or overflowed
+// OpSum data would hit.
+func benchRingAllReduceCodec(b *testing.B, net transport.Network, elems int, codec compress.Codec, op tensor.ReduceOp, opts ...collective.Option) {
 	b.Helper()
 	comms := make([]*mpi.Comm, 4)
 	datas := make([][]float32, 4)
@@ -282,6 +293,9 @@ func benchRingAllReduce(b *testing.B, net transport.Network, elems int) {
 		}
 		comms[r] = mpi.NewWorld(ep)
 		datas[r] = make([]float32, elems)
+		for i := range datas[r] {
+			datas[r][i] = 0.001 + float32(i%1000)*0.001
+		}
 	}
 	b.SetBytes(int64(elems) * 4)
 	b.ReportAllocs()
@@ -292,7 +306,7 @@ func benchRingAllReduce(b *testing.B, net transport.Network, elems int) {
 		go func(r int) {
 			defer wg.Done()
 			for i := 0; i < b.N; i++ {
-				if err := collective.RingAllReduce(comms[r], 0, datas[r], tensor.OpSum); err != nil {
+				if err := collective.RingAllReduceCodec(comms[r], 0, datas[r], op, codec, opts...); err != nil {
 					b.Error(err)
 					return
 				}
@@ -318,6 +332,72 @@ func BenchmarkRingAllReduceTCP(b *testing.B) {
 			benchRingAllReduce(b, net, elems)
 		})
 	}
+	// The fp16 variants carry real codec work on the critical path, so they
+	// are the ones the segment pipeline targets. Three same-binary arms:
+	// "ref" is the serial pre-pipelining protocol (whole-chunk frames,
+	// all-gather decode→re-encode), "seg=off" runs the pipelined machinery
+	// with one segment per chunk (isolates the verbatim all-gather
+	// forwarding), "seg=128K" adds double-buffered wire segments.
+	for _, elems := range []int{1 << 18, 1 << 20} {
+		for _, arm := range []struct {
+			name  string
+			bytes int64 // 0 = serial reference implementation
+		}{
+			{"ref", 0},
+			{"seg=off", 1 << 30},
+			{"seg=128K", 128 << 10},
+		} {
+			b.Run(fmt.Sprintf("4ranks/%delems/fp16/%s", elems, arm.name), func(b *testing.B) {
+				net, err := transport.NewTCP(4, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				if arm.bytes == 0 {
+					benchRingAllReduceRef(b, net, elems)
+					return
+				}
+				benchRingAllReduceCodec(b, net, elems, compress.FP16{}, tensor.OpMax,
+					collective.WithSegmentBytes(arm.bytes))
+			})
+		}
+	}
+}
+
+// benchRingAllReduceRef is benchRingAllReduceCodec over the serial reference
+// implementation — the baseline arm of the pipelining A/B.
+func benchRingAllReduceRef(b *testing.B, net transport.Network, elems int) {
+	b.Helper()
+	comms := make([]*mpi.Comm, 4)
+	datas := make([][]float32, 4)
+	for r := 0; r < 4; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comms[r] = mpi.NewWorld(ep)
+		datas[r] = make([]float32, elems)
+		for i := range datas[r] {
+			datas[r][i] = 0.001 + float32(i%1000)*0.001
+		}
+	}
+	b.SetBytes(int64(elems) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := collective.RingAllReduceCodecReference(comms[r], 0, datas[r], tensor.OpMax, compress.FP16{}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // benchEngineIteration measures one full live engine iteration (sync + pack

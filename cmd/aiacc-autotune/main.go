@@ -55,6 +55,7 @@ func run() error {
 		}
 		cfg.Engine.Streams = p.Streams
 		cfg.Engine.GranularityBytes = p.GranularityBytes
+		cfg.Engine.SegmentBytes = p.SegmentBytes
 		if p.Algorithm == autotune.AlgoTree {
 			cfg.Engine.Algorithm = cluster.Hierarchical
 		}

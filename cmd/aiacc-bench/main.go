@@ -67,6 +67,7 @@ func run() error {
 		{id: "ablation-fp16", run: s.AblationCompression},
 		{id: "live", run: s.Live},
 		{id: "live-bandwidth", run: s.LiveBandwidth},
+		{id: "segsweep", run: s.SegSweep},
 	}
 
 	if *list {

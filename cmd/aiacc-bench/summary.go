@@ -51,6 +51,14 @@ func metricsSummary(before, after metrics.Snapshot) string {
 		fmt.Fprintf(w, "bufpool\thit rate %.1f%% (%.0f/%.0f), oversize %.0f\n",
 			100*hits/(hits+misses), hits, hits+misses, oversize)
 	}
+	// Ring pipeline overlap: how the segmented all-reduce's critical path
+	// split between waiting on the wire and codec/reduce compute.
+	wireWait := d.total("aiacc_collective_wire_wait_ns_total")
+	compute := d.total("aiacc_collective_compute_ns_total")
+	if wireWait+compute > 0 {
+		fmt.Fprintf(w, "ring pipeline\twire wait %.1fms, codec+reduce %.1fms (%.0f%% compute)\n",
+			wireWait/1e6, compute/1e6, 100*compute/(wireWait+compute))
+	}
 	_ = w.Flush()
 	return buf.String()
 }

@@ -43,6 +43,7 @@ func liveSpace() autotune.Space {
 		Streams:       []int{1, 2, 4, 8},
 		Granularities: []int64{256 << 10, 1 << 20, 4 << 20},
 		Algorithms:    []string{autotune.AlgoRing, autotune.AlgoTree},
+		Segments:      []int64{64 << 10, 128 << 10, 512 << 10},
 	}
 }
 
@@ -61,6 +62,7 @@ func run() error {
 		steps       = flag.Int("steps", 30, "training iterations")
 		streams     = flag.Int("streams", 4, "concurrent communication streams")
 		granularity = flag.Int64("granularity", 1<<20, "all-reduce unit size in bytes")
+		segBytes    = flag.Int64("segment-bytes", 0, "ring wire-pipelining segment size in bytes (0 = collective default)")
 		trans       = flag.String("transport", "mem", "transport: mem | tcp")
 		coordinator = flag.String("coordinator", "decentralized", "readiness coordinator: decentralized | master")
 		algorithm   = flag.String("algorithm", "ring", "all-reduce algorithm: ring | hierarchical")
@@ -95,6 +97,7 @@ func run() error {
 	cfg := engine.DefaultConfig()
 	cfg.Streams = *streams
 	cfg.GranularityBytes = *granularity
+	cfg.SegmentBytes = *segBytes
 	cfg.MinSyncBytes = *granularity
 	cfg.GPUsPerNode = *perNode
 	cfg.DetectNaN = *nanCheck

@@ -104,21 +104,112 @@ func (r *ringOp) end() {
 // RingAllReduce performs an in-place ring all-reduce of data across all
 // members of c on the given stream, with fp32 wire encoding. See
 // RingAllReduceCodec.
-func RingAllReduce(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp) error {
-	return RingAllReduceCodec(c, stream, data, op, compress.FP32{})
+func RingAllReduce(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, opts ...Option) error {
+	return RingAllReduceCodec(c, stream, data, op, compress.FP32{}, opts...)
 }
 
 // RingAllReduceCodec performs an in-place ring all-reduce of data across all
 // members of c on the given stream, serializing chunks with the given codec
 // (e.g. fp16 gradient compression). After it returns, every rank holds the
 // element-wise reduction (op) of all ranks' inputs; the reduction itself is
-// computed in fp32 after decoding.
+// computed in fp32 after decoding. All ranks finish with bit-identical data
+// even under a lossy codec (the all-gather folds the codec's quantization
+// into the origin rank's local copy too).
 //
 // The algorithm is the bandwidth-optimal two-phase ring of Fig. 1: n-1
 // reduce-scatter steps in which each rank forwards and reduces one chunk,
 // followed by n-1 all-gather steps broadcasting the fully-reduced chunks.
 // Each rank sends 2(n-1)/n of the data in total.
-func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
+//
+// Each per-step chunk is cut into wire segments of WithSegmentBytes fp32
+// data bytes (DefaultSegmentBytes unless overridden) and double-buffered
+// through a pipelined sender, so decode+reduce of segment i overlaps the
+// transfer of segment i+1 and each encode overlaps the in-flight send. In
+// the all-gather phase, received payloads are forwarded verbatim — each
+// reduced chunk is encoded exactly once, by its origin rank.
+func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	n := c.Size()
+	if n == 1 || len(data) == 0 {
+		return nil
+	}
+	o := buildOptions(opts)
+	rank := c.Rank()
+	defer obsOp(mRing, opStart())
+
+	// Segments are cut from fp32 chunks, so wire buffers and the decode
+	// scratch only need one segment's worth of capacity: chunkBounds never
+	// yields a segment larger than ceil(chunk/segs) ≤ segElems elements.
+	maxChunk := len(data)/n + 1
+	segElems := maxChunk
+	if s := int(o.segBytes / 4); s >= 1 && s < segElems {
+		segElems = s
+	}
+	p := ringPipeline{
+		c: c, stream: stream,
+		next: (rank + 1) % n, prev: (rank - 1 + n) % n,
+		codec: codec, segBytes: o.segBytes,
+		r:     beginSeg(int(codec.WireBytes(segElems))),
+		timed: segTimed(),
+	}
+	defer p.r.end()
+	mSegCount.Set(int64(numSegments(maxChunk, o.segBytes)))
+	fp := getF32(segElems)
+	defer putF32(fp)
+	p.scratch = *fp
+
+	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
+	// contributions into chunk (rank-s-1+n)%n.
+	phase := opStart()
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + n) % n
+		recvIdx := (rank - step - 1 + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+		if err := p.reduceStep(data, sLo, sHi, rLo, rHi, op); err != nil {
+			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
+		}
+	}
+	obs(mPhaseRS, phase)
+
+	// All-gather: circulate the fully reduced chunks. With n > 2 ranks the
+	// payloads received on one step are the exact frames to forward on the
+	// next, so two slot sets alternate between "forward now" and "fill for
+	// the next step".
+	phase = opStart()
+	requant := !codecLossless(codec)
+	var slots, spare *[][]byte
+	if n > 2 {
+		maxSegs := numSegments(maxChunk, o.segBytes)
+		slots, spare = getSlots(maxSegs), getSlots(maxSegs)
+		defer putSlots(slots)
+		defer putSlots(spare)
+	}
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + 1 + n) % n
+		recvIdx := (rank - step + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+		var cur, nxt [][]byte
+		if slots != nil {
+			cur, nxt = *slots, *spare
+		}
+		if err := p.gatherStep(data, sLo, sHi, rLo, rHi, step > 0, step < n-2, requant, cur, nxt); err != nil {
+			return fmt.Errorf("ring all-gather step %d: %w", step, err)
+		}
+		slots, spare = spare, slots
+	}
+	obs(mPhaseAG, phase)
+	return nil
+}
+
+// RingAllReduceCodecReference is the serial pre-pipelining ring all-reduce:
+// one wire frame per ring step, the whole chunk decoded before reduction,
+// and an all-gather that decodes and re-encodes every received chunk. It is
+// retained as a correctness oracle — the property tests pin the pipelined
+// ring to it bit-for-bit under lossless codecs — and as the same-binary
+// baseline arm of the ring benchmarks. Production callers want
+// RingAllReduceCodec.
+func RingAllReduceCodecReference(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
 	n := c.Size()
 	if n == 1 || len(data) == 0 {
 		return nil
@@ -126,19 +217,14 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 	rank := c.Rank()
 	next := (rank + 1) % n
 	prev := (rank - 1 + n) % n
-	defer obsOp(mRing, opStart())
 
 	wireHint := int(codec.WireBytes(len(data)/n + 1))
-	mChunkBytes.Observe(int64(wireHint))
 	r := beginRing(wireHint)
 	defer r.end()
 	// One decode scratch of max-chunk size serves every step.
 	fp := getF32(len(data)/n + 1)
 	defer putF32(fp)
 
-	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
-	// contributions into chunk (rank-s-1+n)%n.
-	phase := opStart()
 	for step := 0; step < n-1; step++ {
 		sendIdx := (rank - step + n) % n
 		recvIdx := (rank - step - 1 + 2*n) % n
@@ -164,10 +250,6 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		r.adopt(payload)
 	}
 
-	obs(mPhaseRS, phase)
-
-	// All-gather: circulate the fully reduced chunks.
-	phase = opStart()
 	for step := 0; step < n-1; step++ {
 		sendIdx := (rank - step + 1 + n) % n
 		recvIdx := (rank - step + 2*n) % n
@@ -188,7 +270,6 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		}
 		r.adopt(payload)
 	}
-	obs(mPhaseAG, phase)
 	return nil
 }
 
@@ -352,13 +433,15 @@ func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 // node leaders across the network, then an intra-node broadcast of the
 // result. It reduces cross-node traffic to 1/gpusPerNode of a flat ring and
 // is selected by the auto-tuner when inter-node links are congested.
-func HierarchicalAllReduce(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp) error {
-	return HierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, compress.FP32{})
+func HierarchicalAllReduce(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, opts ...Option) error {
+	return HierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, compress.FP32{}, opts...)
 }
 
 // HierarchicalAllReduceCodec is HierarchicalAllReduce with an explicit wire
-// codec applied to every phase.
-func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
+// codec applied to every phase. Options (segment pipelining) apply to both
+// ring phases — in particular the cross-node leader ring, where overlapping
+// codec work with the slower inter-node wire pays off most.
+func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
 	if c.Size() == 1 || len(data) == 0 {
 		return nil
 	}
@@ -371,7 +454,7 @@ func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []flo
 		return fmt.Errorf("hierarchical all-reduce node group: %w", err)
 	}
 	// Phase 1: intra-node reduction.
-	if err := RingAllReduceCodec(node, stream, data, op, codec); err != nil {
+	if err := RingAllReduceCodec(node, stream, data, op, codec, opts...); err != nil {
 		return fmt.Errorf("hierarchical all-reduce intra: %w", err)
 	}
 	// Phase 2: leaders reduce across nodes.
@@ -380,7 +463,7 @@ func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []flo
 		if err != nil {
 			return fmt.Errorf("hierarchical all-reduce leader group: %w", err)
 		}
-		if err := RingAllReduceCodec(leaders, stream, data, op, codec); err != nil {
+		if err := RingAllReduceCodec(leaders, stream, data, op, codec, opts...); err != nil {
 			return fmt.Errorf("hierarchical all-reduce inter: %w", err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"aiacc/compress"
 	"aiacc/mpi"
 	"aiacc/tensor"
 	"aiacc/transport"
@@ -382,6 +383,193 @@ func TestRingAllReduceOverTCP(t *testing.T) {
 		}(ep)
 	}
 	wg.Wait()
+}
+
+// Property: the pipelined segmented ring is bit-exact against the serial
+// reference protocol for the lossless fp32 codec — every world size, payload
+// shape and segment size, including empty chunks (n > len(data)), segments
+// larger than a chunk, and single-segment chunks.
+func TestPipelinedMatchesReferenceBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sizes := []int{2, 3, 4, 5, 8}
+	elemGrid := []int{1, 2, 3, 7, 64, 1000, 4099}
+	segGrid := []int64{1 << 30, 64, 256, 4 << 10} // 1 segment .. many tiny segments
+	for _, size := range sizes {
+		for _, elems := range elemGrid {
+			inputs := make([][]float32, size)
+			for r := range inputs {
+				inputs[r] = make([]float32, elems)
+				for i := range inputs[r] {
+					inputs[r][i] = rng.Float32()*2 - 1
+				}
+			}
+			// Serial reference on one mesh...
+			want := make([][]float32, size)
+			runRanks(t, size, 1, func(c *mpi.Comm) error {
+				data := append([]float32(nil), inputs[c.Rank()]...)
+				if err := RingAllReduceCodecReference(c, 0, data, tensor.OpSum, compress.FP32{}); err != nil {
+					return err
+				}
+				want[c.Rank()] = data
+				return nil
+			})
+			// ...must match the pipelined ring bit for bit at every segment
+			// size.
+			for _, seg := range segGrid {
+				runRanks(t, size, 1, func(c *mpi.Comm) error {
+					data := append([]float32(nil), inputs[c.Rank()]...)
+					if err := RingAllReduceCodec(c, 0, data, tensor.OpSum, compress.FP32{},
+						WithSegmentBytes(seg)); err != nil {
+						return err
+					}
+					for i := range data {
+						if data[i] != want[c.Rank()][i] {
+							t.Errorf("size=%d elems=%d seg=%d rank=%d: data[%d] = %v, want %v (bit-exact)",
+								size, elems, seg, c.Rank(), i, data[i], want[c.Rank()][i])
+							return nil
+						}
+					}
+					return nil
+				})
+			}
+		}
+	}
+}
+
+// With a lossy codec every rank must still end bit-identical: the all-gather
+// forwards received wire payloads verbatim, and the owner re-quantizes its own
+// chunk through the codec, so no rank sees a value another rank doesn't.
+func TestFP16AllGatherBitIdenticalAcrossRanks(t *testing.T) {
+	for _, size := range []int{2, 3, 4, 5} {
+		for _, elems := range []int{1, 5, 300, 1000} {
+			for _, seg := range []int64{1 << 30, 128, 1 << 10} {
+				results := make([][]float32, size)
+				runRanks(t, size, 1, func(c *mpi.Comm) error {
+					data := make([]float32, elems)
+					for i := range data {
+						// Values whose sum is not fp16-representable exactly,
+						// so re-quantization actually matters.
+						data[i] = 0.001*float32(i%97) + 0.0001*float32(c.Rank())
+					}
+					if err := RingAllReduceCodec(c, 0, data, tensor.OpSum, compress.FP16{},
+						WithSegmentBytes(seg)); err != nil {
+						return err
+					}
+					results[c.Rank()] = data
+					return nil
+				})
+				for r := 1; r < size; r++ {
+					for i := range results[r] {
+						if results[r][i] != results[0][i] {
+							t.Fatalf("size=%d elems=%d seg=%d: rank %d data[%d] = %v, rank 0 has %v",
+								size, elems, seg, r, i, results[r][i], results[0][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pipelined ring must survive the race detector over real TCP sockets
+// with several concurrent streams per rank.
+func TestPipelinedRingOverTCPConcurrentStreams(t *testing.T) {
+	const size, streams = 3, 3
+	net, err := transport.NewTCP(size, streams)
+	if err != nil {
+		t.Fatalf("NewTCP: %v", err)
+	}
+	defer func() { _ = net.Close() }()
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatalf("Endpoint: %v", err)
+		}
+		wg.Add(1)
+		go func(ep transport.Endpoint) {
+			defer wg.Done()
+			c := mpi.NewWorld(ep)
+			var sg sync.WaitGroup
+			for s := 0; s < streams; s++ {
+				sg.Add(1)
+				go func(s int) {
+					defer sg.Done()
+					elems := 3000 + 17*s // several segments per chunk
+					data := make([]float32, elems)
+					for i := range data {
+						data[i] = float32(c.Rank() + s)
+					}
+					if err := RingAllReduceCodec(c, s, data, tensor.OpSum, compress.FP32{},
+						WithSegmentBytes(1<<10)); err != nil {
+						t.Errorf("rank %d stream %d: %v", c.Rank(), s, err)
+						return
+					}
+					want := float32(size*(size-1)/2 + size*s)
+					for i := range data {
+						if data[i] != want {
+							t.Errorf("rank %d stream %d: data[%d] = %v, want %v",
+								c.Rank(), s, i, data[i], want)
+							return
+						}
+					}
+				}(s)
+			}
+			sg.Wait()
+		}(ep)
+	}
+	wg.Wait()
+}
+
+// Hierarchical all-reduce accepts segment options and stays correct.
+func TestHierarchicalAllReduceSegmented(t *testing.T) {
+	const size, perNode = 4, 2
+	runRanks(t, size, 1, func(c *mpi.Comm) error {
+		data := make([]float32, 700)
+		for i := range data {
+			data[i] = float32(c.Rank() + 1)
+		}
+		if err := HierarchicalAllReduce(c, 0, perNode, data, tensor.OpSum,
+			WithSegmentBytes(512)); err != nil {
+			return err
+		}
+		want := float32(size * (size + 1) / 2)
+		for i := range data {
+			if data[i] != want {
+				t.Errorf("rank %d: data[%d] = %v, want %v", c.Rank(), i, data[i], want)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+// numSegments invariants: every chunk is at least one segment; segments never
+// exceed the configured byte size in elements.
+func TestNumSegments(t *testing.T) {
+	cases := []struct {
+		elems int
+		seg   int64
+		want  int
+	}{
+		{0, 1 << 20, 1},
+		{1, 1 << 20, 1},
+		{100, 400, 1},  // exactly one segment
+		{101, 400, 2},  // one element over
+		{1000, 400, 10},
+		{1000, 3, 0},   // <4 bytes: degenerate, fall back to one segment
+		{1000, 0, 0},   // answered by buildOptions before numSegments; 0 treated as 1
+	}
+	for _, c := range cases {
+		got := numSegments(c.elems, c.seg)
+		want := c.want
+		if want == 0 {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("numSegments(%d, %d) = %d, want %d", c.elems, c.seg, got, want)
+		}
+	}
 }
 
 // Property: ring all-reduce sum equals the serial sum for random inputs.

@@ -64,6 +64,11 @@ func (FP32) Decode(dst []float32, buf []byte) error {
 // WireBytes implements Codec.
 func (FP32) WireBytes(n int) int64 { return int64(n) * 4 }
 
+// Lossless reports that Decode(Encode(x)) restores x bit-for-bit. Consumers
+// (the ring all-gather) use this capability marker to skip the self-
+// requantization pass that keeps all ranks bit-identical under lossy codecs.
+func (FP32) Lossless() bool { return true }
+
 // FP16 encodes gradients as IEEE binary16, halving wire traffic at the cost
 // of ~3 decimal digits of precision — acceptable for gradients, which are
 // noisy by construction.

@@ -120,6 +120,11 @@ type Config struct {
 	Streams int
 	// GranularityBytes is the all-reduce unit size.
 	GranularityBytes int64
+	// SegmentBytes is the ring all-reduce wire-pipelining segment size (fp32
+	// data bytes per wire frame); 0 means collective.DefaultSegmentBytes.
+	// Like Streams and GranularityBytes it is a dimension of the auto-tuner's
+	// search space.
+	SegmentBytes int64
 	// MinSyncBytes is the bucket size that triggers a synchronization
 	// round; 0 means GranularityBytes.
 	MinSyncBytes int64
@@ -174,6 +179,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: nil codec", ErrBadConfig)
 	case c.MinSyncBytes < 0:
 		return fmt.Errorf("%w: minSyncBytes %d", ErrBadConfig, c.MinSyncBytes)
+	case c.SegmentBytes < 0:
+		return fmt.Errorf("%w: segmentBytes %d", ErrBadConfig, c.SegmentBytes)
 	}
 	return nil
 }
@@ -584,9 +591,11 @@ func (e *Engine) dispatch(u packing.Unit) error {
 		switch e.cfg.Algorithm {
 		case Hierarchical:
 			rerr = collective.HierarchicalAllReduceCodec(
-				e.comm, streamID, e.cfg.GPUsPerNode, buf, tensor.OpSum, e.cfg.Codec)
+				e.comm, streamID, e.cfg.GPUsPerNode, buf, tensor.OpSum, e.cfg.Codec,
+				collective.WithSegmentBytes(e.cfg.SegmentBytes))
 		default:
-			rerr = collective.RingAllReduceCodec(e.comm, streamID, buf, tensor.OpSum, e.cfg.Codec)
+			rerr = collective.RingAllReduceCodec(e.comm, streamID, buf, tensor.OpSum, e.cfg.Codec,
+				collective.WithSegmentBytes(e.cfg.SegmentBytes))
 		}
 		if rerr != nil {
 			return fmt.Errorf("unit %d all-reduce: %w", u.Seq, rerr)

@@ -71,6 +71,8 @@ func (e *Engine) publishConfig() {
 		Set(int64(e.cfg.Streams))
 	metrics.NewGauge("aiacc_engine_granularity_bytes", "Configured all-reduce unit granularity.", rankL).
 		Set(e.cfg.GranularityBytes)
+	metrics.NewGauge("aiacc_engine_segment_bytes", "Configured ring wire-pipelining segment size (0 = collective default).", rankL).
+		Set(e.cfg.SegmentBytes)
 }
 
 // clockStart returns the wall clock when metrics are enabled, else zero;

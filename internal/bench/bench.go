@@ -123,6 +123,7 @@ func simulate(cfg cluster.Config) (cluster.Result, error) {
 func applyParams(cfg *cluster.Config, p autotune.Params) {
 	cfg.Engine.Streams = p.Streams
 	cfg.Engine.GranularityBytes = p.GranularityBytes
+	cfg.Engine.SegmentBytes = p.SegmentBytes
 	if p.Algorithm == autotune.AlgoTree {
 		cfg.Engine.Algorithm = cluster.Hierarchical
 	} else {
@@ -180,6 +181,10 @@ func neighborhood(s autotune.Space, p autotune.Params) autotune.Space {
 		q = s.Neighbor(p, 1, dir)
 		if len(sub.Granularities) == 0 || sub.Granularities[len(sub.Granularities)-1] != q.GranularityBytes {
 			sub.Granularities = append(sub.Granularities, q.GranularityBytes)
+		}
+		q = s.Neighbor(p, 3, dir)
+		if len(sub.Segments) == 0 || sub.Segments[len(sub.Segments)-1] != q.SegmentBytes {
+			sub.Segments = append(sub.Segments, q.SegmentBytes)
 		}
 	}
 	return sub

@@ -100,3 +100,84 @@ func Release(a *Async) {
 	mu.Unlock()
 	close(a.req) // retire: the parked goroutine exits
 }
+
+// PipeDepth is the number of sends a Pipe accepts before Send blocks: one
+// executing on the transport plus one queued behind it.
+const PipeDepth = 2
+
+// Pipe is a persistent sender goroutine that accepts up to PipeDepth sends
+// before the caller must Wait — the double-buffered variant of Async used by
+// the segment-pipelined ring collectives. All sends run on one goroutine, so
+// frames are put on the wire in Send order and the transport's per-(peer,
+// stream) FIFO matching is preserved even with several frames in flight per
+// ring step (two Asyncs racing on the same stream would interleave). A Pipe
+// must be used by one operation at a time; the caller tracks how many sends
+// are outstanding (Sends minus Waits) and keeps it within PipeDepth.
+type Pipe struct {
+	req chan request
+	err chan error
+}
+
+// Send asynchronously delivers data to rank `to` on the given stream of s.
+// Ownership of data transfers to the transport immediately. Blocks only when
+// PipeDepth sends are already outstanding.
+func (p *Pipe) Send(s Sender, to, stream int, data []byte) {
+	p.req <- request{s: s, to: to, stream: stream, data: data}
+}
+
+// Wait blocks until the oldest outstanding send completes and returns its
+// error. Results arrive in Send order.
+func (p *Pipe) Wait() error { return <-p.err }
+
+var (
+	pipeMu   sync.Mutex
+	pipeIdle []*Pipe
+)
+
+// AcquirePipe returns a ready pipelined sender, reusing a parked one when
+// available.
+func AcquirePipe() *Pipe {
+	pipeMu.Lock()
+	if n := len(pipeIdle); n > 0 {
+		p := pipeIdle[n-1]
+		pipeIdle[n-1] = nil
+		pipeIdle = pipeIdle[:n-1]
+		pipeMu.Unlock()
+		return p
+	}
+	pipeMu.Unlock()
+	// req buffers PipeDepth-1 queued requests behind the executing send; err
+	// buffers every completion so the sender loop never blocks reporting.
+	p := &Pipe{req: make(chan request, PipeDepth-1), err: make(chan error, PipeDepth)}
+	go run(p.req, p.err)
+	return p
+}
+
+// AbandonPipe returns a pipe with `outstanding` sends still in flight — the
+// error path of an operation that failed between Send and Wait. The pipe is
+// drained in the background and pooled once the transport releases it.
+func AbandonPipe(p *Pipe, outstanding int) {
+	if outstanding <= 0 {
+		ReleasePipe(p)
+		return
+	}
+	go func() {
+		for i := 0; i < outstanding; i++ {
+			<-p.err
+		}
+		ReleasePipe(p)
+	}()
+}
+
+// ReleasePipe returns a pipe to the pool. The caller must have Waited on
+// every Send it issued.
+func ReleasePipe(p *Pipe) {
+	pipeMu.Lock()
+	if len(pipeIdle) < maxIdle {
+		pipeIdle = append(pipeIdle, p)
+		pipeMu.Unlock()
+		return
+	}
+	pipeMu.Unlock()
+	close(p.req)
+}

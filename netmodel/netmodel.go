@@ -119,6 +119,30 @@ func (l Link) TransferTime(size int64, n int) time.Duration {
 	return l.BaseLatency + time.Duration(sec*float64(time.Second))
 }
 
+// Segments returns the number of wire segments a payload of `bytes` is split
+// into under the ring pipelining segment size segBytes (collective package:
+// segments double-buffer so codec and reduction overlap the transfer). A
+// non-positive segment size, or a payload no larger than one segment, is a
+// single segment.
+func Segments(bytes, segBytes int64) int {
+	if segBytes <= 0 || bytes <= segBytes {
+		return 1
+	}
+	return int((bytes + segBytes - 1) / segBytes)
+}
+
+// ExposedCompute returns the serial (non-overlapped) share of a per-chunk
+// compute cost — codec or reduction — when the chunk is pipelined as `segs`
+// wire segments. With one segment the whole cost is exposed; with more, only
+// the pipeline-fill segment's share remains on the critical path while the
+// rest overlaps the in-flight transfer.
+func ExposedCompute(total time.Duration, segs int) time.Duration {
+	if segs <= 1 {
+		return total
+	}
+	return total / time.Duration(segs)
+}
+
 // Preset links. The constants are calibrated to the paper's evaluation
 // platform (§VII-A): 30 Gbps VPC TCP between nodes, optional RDMA, and
 // NVLink-connected V100s within a node.

@@ -93,6 +93,49 @@ func TestTransferTime(t *testing.T) {
 	}
 }
 
+func TestSegments(t *testing.T) {
+	cases := []struct {
+		bytes, seg int64
+		want       int
+	}{
+		{1 << 20, 0, 1},    // disabled
+		{1 << 20, -1, 1},   // disabled
+		{0, 128 << 10, 1},  // empty payload still one segment
+		{64 << 10, 128 << 10, 1},
+		{128 << 10, 128 << 10, 1},
+		{128<<10 + 1, 128 << 10, 2},
+		{1 << 20, 128 << 10, 8},
+		{1<<20 + 1, 128 << 10, 9},
+	}
+	for _, c := range cases {
+		if got := Segments(c.bytes, c.seg); got != c.want {
+			t.Errorf("Segments(%d, %d) = %d, want %d", c.bytes, c.seg, got, c.want)
+		}
+	}
+}
+
+func TestExposedCompute(t *testing.T) {
+	total := 8 * time.Millisecond
+	if got := ExposedCompute(total, 1); got != total {
+		t.Errorf("one segment exposes everything: %v", got)
+	}
+	if got := ExposedCompute(total, 0); got != total {
+		t.Errorf("degenerate segment count exposes everything: %v", got)
+	}
+	if got := ExposedCompute(total, 8); got != time.Millisecond {
+		t.Errorf("8 segments expose 1/8: %v", got)
+	}
+	// More segments never expose more.
+	prev := ExposedCompute(total, 1)
+	for s := 2; s <= 64; s *= 2 {
+		cur := ExposedCompute(total, s)
+		if cur > prev {
+			t.Fatalf("ExposedCompute not monotone at %d segments: %v > %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
 func TestTopology(t *testing.T) {
 	top := V100Cluster(32)
 	if err := top.Validate(); err != nil {

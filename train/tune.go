@@ -130,6 +130,7 @@ func ApplyParams(base engine.Config, p autotune.Params) engine.Config {
 	cfg := base
 	cfg.Streams = p.Streams
 	cfg.GranularityBytes = p.GranularityBytes
+	cfg.SegmentBytes = p.SegmentBytes
 	cfg.MinSyncBytes = 0 // re-derive from the new granularity
 	if p.Algorithm == autotune.AlgoTree {
 		cfg.Algorithm = engine.Hierarchical

@@ -20,6 +20,7 @@ func smallSpace() autotune.Space {
 		Streams:       []int{1, 2, 4},
 		Granularities: []int64{32 << 10, 128 << 10},
 		Algorithms:    []string{autotune.AlgoRing, autotune.AlgoTree},
+		Segments:      []int64{16 << 10, 64 << 10},
 	}
 }
 
