@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/internal/leakcheck"
+	"aiacc/mpi"
+	"aiacc/tensor"
+	"aiacc/transport"
+	"aiacc/transport/chaos"
+)
+
+// TestPSEnginePeerDeath kills one rank of a parameter-server group before the
+// push phase. Because every rank is both a worker and a shard server, the dead
+// rank takes a shard of gradients with it: survivors must observe a classified
+// communication failure from PushGradient or WaitIteration — never a hang on
+// pulls that cannot arrive — and teardown must leak neither goroutines nor
+// pooled buffers.
+func TestPSEnginePeerDeath(t *testing.T) {
+	const (
+		size    = 3
+		streams = 2
+		victim  = 2
+	)
+	base := leakcheck.Take()
+	inner, err := transport.NewMem(size, streams,
+		transport.WithMemOpTimeout(2*time.Second), transport.WithBuffer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := chaos.Wrap(inner, chaos.NewPlan(21)) // no planned faults; we kill explicitly
+	defer func() { _ = net.Close() }()
+
+	engines := make([]*PSEngine, size)
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewPSEngine(mpi.NewWorld(ep), PSConfig{Streams: streams, Average: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enough gradients that every rank owns a shard.
+		for g := 0; g < 6; g++ {
+			if err := e.Register(fmt.Sprintf("p%02d", g), 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		engines[r] = e
+	}
+
+	// The victim dies after Start but before anyone pushes: its reader loops
+	// collapse and its shard's pulls become unsatisfiable.
+	net.Kill(victim)
+
+	results := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		if r == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			e := engines[r]
+			for g := 0; g < 6; g++ {
+				grad := tensor.Filled(float32(r+1), 8)
+				if err := e.PushGradient(fmt.Sprintf("p%02d", g), grad); err != nil {
+					results[r] = err
+					return
+				}
+			}
+			results[r] = e.WaitIteration()
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("PS iteration hung after peer death\n%s", buf[:n])
+	}
+
+	for r, err := range results {
+		if r == victim {
+			continue
+		}
+		if err == nil {
+			t.Errorf("rank %d: iteration succeeded despite rank %d's death", r, victim)
+			continue
+		}
+		if !transport.IsCommFailure(err) && !errors.Is(err, chaos.ErrKilled) {
+			t.Errorf("rank %d: unclassified failure: %v", r, err)
+		}
+	}
+
+	for _, e := range engines {
+		_ = e.Close()
+	}
+	_ = net.Close()
+	if err := base.Goroutines(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := base.Buffers(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+}

@@ -225,7 +225,16 @@ func (e *PSEngine) readLoop(peer int) {
 			for {
 				payload, err := e.comm.Recv(peer, s)
 				if err != nil {
-					return // closed
+					// During orderly shutdown (engine stopped, then transport
+					// closed) the exit is silent. Any other receive failure —
+					// peer death, abort, timeout — must fail the iteration,
+					// or the worker waits forever on pulls that cannot come.
+					select {
+					case <-e.stopped:
+					default:
+						e.failIteration(fmt.Errorf("baseline: recv from %d: %w", peer, err))
+					}
+					return
 				}
 				kind, id, vals, err := decode(payload)
 				if err != nil {

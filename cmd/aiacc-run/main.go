@@ -64,6 +64,8 @@ func run() error {
 		granularity = flag.Int64("granularity", 1<<20, "all-reduce unit size in bytes")
 		segBytes    = flag.Int64("segment-bytes", 0, "ring wire-pipelining segment size in bytes (0 = collective default)")
 		trans       = flag.String("transport", "mem", "transport: mem | tcp")
+		opTimeout   = flag.Duration("op-timeout", 0, "bound every blocking transport send/recv; a stuck operation fails with a timeout instead of hanging (0 = unbounded)")
+		heartbeat   = flag.Duration("heartbeat", 0, "TCP liveness probe interval; a peer silent for 4 intervals is declared failed (0 = off)")
 		coordinator = flag.String("coordinator", "decentralized", "readiness coordinator: decentralized | master")
 		algorithm   = flag.String("algorithm", "ring", "all-reduce algorithm: ring | hierarchical")
 		perNode     = flag.Int("gpus-per-node", 2, "workers per simulated node (hierarchical algorithm)")
@@ -135,6 +137,12 @@ func run() error {
 	if recorder != nil {
 		tcpOpts = append(tcpOpts, transport.WithTrace(recorder))
 	}
+	if *opTimeout > 0 {
+		tcpOpts = append(tcpOpts, transport.WithOpTimeout(*opTimeout))
+	}
+	if *heartbeat > 0 {
+		tcpOpts = append(tcpOpts, transport.WithHeartbeat(*heartbeat))
+	}
 	if *workerRank >= 0 {
 		// Child process: join the TCP mesh and run one worker.
 		addrs := strings.Split(*workerAddrs, ",")
@@ -167,7 +175,11 @@ func run() error {
 	var net transport.Network
 	switch *trans {
 	case "mem":
-		net, err = transport.NewMem(*workers, transportStreams)
+		var memOpts []transport.MemOption
+		if *opTimeout > 0 {
+			memOpts = append(memOpts, transport.WithMemOpTimeout(*opTimeout))
+		}
+		net, err = transport.NewMem(*workers, transportStreams, memOpts...)
 	case "tcp":
 		net, err = transport.NewTCP(*workers, transportStreams, tcpOpts...)
 	default:

@@ -128,6 +128,10 @@ func RingAllReduce(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, 
 // the all-gather phase, received payloads are forwarded verbatim — each
 // reduced chunk is encoded exactly once, by its origin rank.
 func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	return Unwind(c, stream, ringAllReduceCodec(c, stream, data, op, codec, opts...))
+}
+
+func ringAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
 	n := c.Size()
 	if n == 1 || len(data) == 0 {
 		return nil
@@ -210,6 +214,10 @@ func RingAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 // baseline arm of the ring benchmarks. Production callers want
 // RingAllReduceCodec.
 func RingAllReduceCodecReference(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
+	return Unwind(c, stream, ringAllReduceCodecReference(c, stream, data, op, codec))
+}
+
+func ringAllReduceCodecReference(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec) error {
 	n := c.Size()
 	if n == 1 || len(data) == 0 {
 		return nil
@@ -239,12 +247,15 @@ func RingAllReduceCodecReference(c *mpi.Comm, stream int, data []float32, op ten
 		}
 		tmp := (*fp)[:rHi-rLo]
 		if err := codec.Decode(tmp, payload); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
 		}
 		if err := op.ApplyParallel(data[rLo:rHi], tmp); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("ring all-reduce reduce step %d: %w", step, err)
 		}
 		if err := r.wait(); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("ring all-reduce send step %d: %w", step, err)
 		}
 		r.adopt(payload)
@@ -263,9 +274,11 @@ func RingAllReduceCodecReference(c *mpi.Comm, stream int, data []float32, op ten
 			return fmt.Errorf("ring all-gather recv step %d: %w", step, err)
 		}
 		if err := codec.Decode(data[rLo:rHi], payload); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("ring all-gather step %d: %w", step, err)
 		}
 		if err := r.wait(); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("ring all-gather send step %d: %w", step, err)
 		}
 		r.adopt(payload)
@@ -281,6 +294,10 @@ func Broadcast(c *mpi.Comm, stream, root int, data []float32) error {
 
 // BroadcastCodec is Broadcast with an explicit wire codec.
 func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compress.Codec) error {
+	return Unwind(c, stream, broadcastCodec(c, stream, root, data, codec))
+}
+
+func broadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compress.Codec) error {
 	n := c.Size()
 	if n == 1 || len(data) == 0 {
 		return nil
@@ -327,6 +344,11 @@ func BroadcastCodec(c *mpi.Comm, stream, root int, data []float32, codec compres
 // n-1 steps, each forwarding the previously received block. The returned
 // blocks are owned by the caller and alias nothing.
 func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
+	out, err := allGather(c, stream, mine)
+	return out, Unwind(c, stream, err)
+}
+
+func allGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 	n := c.Size()
 	out := make([][]byte, n)
 	myCopy := make([]byte, len(mine))
@@ -360,6 +382,7 @@ func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 			return nil, fmt.Errorf("all-gather recv step %d: %w", step, err)
 		}
 		if err := async.Wait(); err != nil {
+			recycleWire(payload)
 			return nil, fmt.Errorf("all-gather send step %d: %w", step, err)
 		}
 		inflight = false
@@ -382,6 +405,10 @@ func AllGather(c *mpi.Comm, stream int, mine []byte) ([][]byte, error) {
 // locally ready; after the all-reduce, bit g survives iff *every* worker had
 // it set (AND of 0/1 bits is the paper's min operator).
 func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
+	return Unwind(c, stream, andAllReduceBits(c, stream, bits))
+}
+
+func andAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 	n := c.Size()
 	if n == 1 || len(bits) == 0 {
 		return nil
@@ -412,12 +439,14 @@ func AndAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 			return fmt.Errorf("bit all-reduce recv step %d: %w", step, err)
 		}
 		if len(payload) != size {
+			recycleWire(payload)
 			return fmt.Errorf("%w: got %d bytes, want %d", ErrShortBuffer, len(payload), size)
 		}
 		for i := range bits {
 			bits[i] &= binary.LittleEndian.Uint64(payload[8*i:])
 		}
 		if err := r.wait(); err != nil {
+			recycleWire(payload)
 			return fmt.Errorf("bit all-reduce send step %d: %w", step, err)
 		}
 		r.adopt(payload)
@@ -442,6 +471,13 @@ func HierarchicalAllReduce(c *mpi.Comm, stream, gpusPerNode int, data []float32,
 // ring phases — in particular the cross-node leader ring, where overlapping
 // codec work with the slower inter-node wire pays off most.
 func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	// The phases unwind within their sub-communicators; the outer unwind over
+	// the full communicator is what carries a failure across phase boundaries
+	// (e.g. to ranks already parked in the next phase).
+	return Unwind(c, stream, hierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, codec, opts...))
+}
+
+func hierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
 	if c.Size() == 1 || len(data) == 0 {
 		return nil
 	}

@@ -57,12 +57,15 @@ func ReduceScatterCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		}
 		tmp := (*fp)[:rHi-rLo]
 		if err := codec.Decode(tmp, payload); err != nil {
+			recycleWire(payload)
 			return nil, fmt.Errorf("reduce-scatter step %d: %w", step, err)
 		}
 		if err := op.ApplyParallel(data[rLo:rHi], tmp); err != nil {
+			recycleWire(payload)
 			return nil, fmt.Errorf("reduce-scatter reduce step %d: %w", step, err)
 		}
 		if err := r.wait(); err != nil {
+			recycleWire(payload)
 			return nil, fmt.Errorf("reduce-scatter send step %d: %w", step, err)
 		}
 		r.adopt(payload)
@@ -101,10 +104,12 @@ func Scatter(c *mpi.Comm, stream, root int, chunks [][]float32) ([]float32, erro
 		return nil, fmt.Errorf("scatter recv: %w", err)
 	}
 	if len(payload)%4 != 0 {
+		recycleWire(payload)
 		return nil, fmt.Errorf("%w: %d-byte scatter payload", ErrShortBuffer, len(payload))
 	}
 	mine := make([]float32, len(payload)/4)
 	if err := (compress.FP32{}).Decode(mine, payload); err != nil {
+		recycleWire(payload)
 		return nil, err
 	}
 	recycleWire(payload)
@@ -139,10 +144,12 @@ func Gather(c *mpi.Comm, stream, root int, mine []float32) ([][]float32, error) 
 			return nil, fmt.Errorf("gather recv from %d: %w", r, err)
 		}
 		if len(payload)%4 != 0 {
+			recycleWire(payload)
 			return nil, fmt.Errorf("%w: %d-byte gather payload from %d", ErrShortBuffer, len(payload), r)
 		}
 		vals := make([]float32, len(payload)/4)
 		if err := codec.Decode(vals, payload); err != nil {
+			recycleWire(payload)
 			return nil, err
 		}
 		recycleWire(payload)

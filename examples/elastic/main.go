@@ -1,23 +1,33 @@
-// Elastic deployment and fault tolerance (§IV "Other features"):
+// Elastic deployment and fault tolerance (§IV "Other features"), now driven
+// by a real failure instead of a staged one:
 //
-//  1. Three workers train an MLP through the AIACC engine, checkpointing
+//  1. Three workers train an MLP through the AIACC engine over a real TCP
+//     mesh wrapped in the chaos fault-injection transport, checkpointing
 //     every few steps with the atomic checkpoint manager.
 //
-//  2. The cluster "crashes": all live state is discarded.
+//  2. Mid-iteration, one rank is chaos-killed. The survivors do not hang:
+//     their collectives unwind with a *classified* peer failure
+//     (transport.ErrPeerFailed), the signal the recovery path keys on.
 //
-//  3. Training restarts from the latest checkpoint on a *larger* cluster —
-//     five workers, two of them brand new. The surviving state is restored
-//     on rank 0 and propagated to every worker with a parameter broadcast
-//     (the elastic-join path), then training continues where it left off.
+//  3. The cluster rebuilds: a fresh TCP mesh comes up with the dead rank
+//     restarted from nothing. Rank 0 restores the latest checkpoint and
+//     fault.SyncParameters broadcasts both the parameters and the resume
+//     step to every worker — the elastic-join path — then training resumes.
 //
-//     go run ./examples/elastic
+//  4. Because the synthetic data is a pure function of (rank, step) and the
+//     optimizer is stateless SGD, the recovered run is bit-identical to a
+//     reference run that never crashed — which the example verifies.
+//
+//	go run ./examples/elastic
 package main
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"sync"
+	"time"
 
 	"aiacc/fault"
 	"aiacc/optimizer"
@@ -25,6 +35,15 @@ import (
 	"aiacc/tensor"
 	"aiacc/train"
 	"aiacc/transport"
+	"aiacc/transport/chaos"
+)
+
+const (
+	workers    = 3
+	victim     = 1
+	totalSteps = 16
+	crashStep  = 9
+	mlpSeed    = 3
 )
 
 func main() {
@@ -45,8 +64,14 @@ func run() error {
 		return err
 	}
 
-	fmt.Println("phase 1: training on 3 workers with periodic checkpoints")
-	if err := trainPhase(3, 12, manager, false); err != nil {
+	fmt.Println("reference: uninterrupted run on 3 workers (for the bit-identical check)")
+	reference, err := trainPhase(totalSteps, -1, nil, false)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nphase 1: training on 3 workers over chaos-wrapped TCP with periodic checkpoints")
+	if _, err := trainPhase(totalSteps, crashStep, manager, false); err != nil {
 		return err
 	}
 
@@ -54,66 +79,110 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n--- simulated node failure; latest checkpoint is step %d ---\n\n", ck.Step)
+	fmt.Printf("\n--- simulated node failure: rank %d chaos-killed at step %d; latest checkpoint is step %d ---\n\n",
+		victim, crashStep, ck.Step)
 
-	fmt.Println("phase 2: elastic restart on 5 workers (2 newly joined) from the checkpoint")
-	return trainPhase(5, 12, manager, true)
-}
-
-// trainPhase runs one training phase on `workers` workers.
-func trainPhase(workers, steps int, manager *fault.Manager, restore bool) error {
-	opts := []perseus.Option{perseus.WithStreams(2), perseus.WithGranularity(32 << 10)}
-	streams, err := perseus.RequiredStreams(opts...)
+	fmt.Println("phase 2: rebuild the mesh, restore the checkpoint, SyncParameters, resume")
+	recovered, err := trainPhase(totalSteps, -1, manager, true)
 	if err != nil {
 		return err
 	}
-	net, err := transport.NewMem(workers, streams)
-	if err != nil {
-		return err
-	}
-	defer func() { _ = net.Close() }()
 
-	var wg sync.WaitGroup
-	errc := make(chan error, workers)
-	for r := 0; r < workers; r++ {
-		ep, err := net.Endpoint(r)
-		if err != nil {
-			return err
-		}
-		wg.Add(1)
-		go func(rank int, ep transport.Endpoint) {
-			defer wg.Done()
-			if err := workerPhase(rank, ep, opts, steps, manager, restore); err != nil {
-				errc <- fmt.Errorf("rank %d: %w", rank, err)
+	identical := true
+	for name, want := range reference {
+		got := recovered[name]
+		for i := range want {
+			if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+				identical = false
 			}
-		}(r, ep)
+		}
 	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		return err
+	fmt.Printf("\nrecovered parameters bit-identical to the uninterrupted run: %v\n", identical)
+	if !identical {
+		return fmt.Errorf("recovery diverged from the reference run")
 	}
 	return nil
 }
 
-func workerPhase(rank int, ep transport.Endpoint, opts []perseus.Option, steps int,
-	manager *fault.Manager, restore bool) error {
+// trainPhase runs the worker group to totalSteps over a chaos-wrapped TCP
+// mesh. If crashStep > 0, the victim kills itself there and the phase returns
+// nil after the survivors have observed classified failures. With restore set,
+// rank 0 loads the latest checkpoint and the group elastic-joins through
+// fault.SyncParameters before stepping. It returns rank 0's final parameters.
+func trainPhase(steps, crashStep int, manager *fault.Manager, restore bool) (map[string][]float32, error) {
+	opts := []perseus.Option{perseus.WithStreams(2), perseus.WithGranularity(32 << 10)}
+	streams, err := perseus.RequiredStreams(opts...)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := transport.NewTCP(workers, streams,
+		transport.WithOpTimeout(2*time.Second),
+		transport.WithHeartbeat(50*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	net := chaos.Wrap(inner, chaos.NewPlan(1))
+	defer func() { _ = net.Close() }()
+
+	finals := make([]map[string][]float32, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(rank int, ep transport.Endpoint) {
+			defer wg.Done()
+			finals[rank], errs[rank] = workerPhase(rank, ep, net, opts, steps, crashStep, manager, restore)
+		}(r, ep)
+	}
+	wg.Wait()
+
+	if crashStep > 0 {
+		// The survivors must have failed — with a classified peer failure,
+		// not a hang and not an arbitrary error.
+		for r, err := range errs {
+			if r == victim {
+				continue
+			}
+			if err == nil {
+				return nil, fmt.Errorf("rank %d finished despite rank %d's death", r, victim)
+			}
+			if !transport.IsCommFailure(err) {
+				return nil, fmt.Errorf("rank %d: unclassified failure: %w", r, err)
+			}
+			fmt.Printf("rank %d observed a classified peer failure: %v\n", r, err)
+		}
+		return nil, nil
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return finals[0], nil
+}
+
+func workerPhase(rank int, ep transport.Endpoint, net *chaos.Network, opts []perseus.Option,
+	steps, crashStep int, manager *fault.Manager, restore bool) (map[string][]float32, error) {
 	session, err := perseus.NewSession(ep, opts...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer func() { _ = session.Close() }()
 
-	mlp, err := train.NewMLP(3, 4, 16, 1)
+	mlp, err := train.NewMLP(mlpSeed, 4, 16, 1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	params := mlp.Params()
 	if err := session.RegisterParams(params); err != nil {
-		return err
+		return nil, err
 	}
 	if err := session.Start(); err != nil {
-		return err
+		return nil, err
 	}
 
 	byName := make(map[string]*tensor.Tensor, len(params))
@@ -123,41 +192,43 @@ func workerPhase(rank int, ep transport.Endpoint, opts []perseus.Option, steps i
 
 	startStep := 0
 	if restore {
-		// Only rank 0 reads the checkpoint (new workers may not even have
-		// the file); the broadcast below propagates the state.
+		// Only rank 0 reads the checkpoint (the restarted worker may not even
+		// have the file); SyncParameters broadcasts rank 0's parameters *and*
+		// step so every worker — old or new — resumes from the same point.
 		if rank == 0 {
 			ck, err := manager.Latest()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := ck.Restore(byName); err != nil {
-				return err
+				return nil, err
 			}
 			startStep = ck.Step
 			fmt.Printf("rank 0 restored checkpoint at step %d\n", ck.Step)
 		}
-		// Elastic join: every worker (old or new) adopts rank 0's state.
-		if err := session.BroadcastParameters(params, 0); err != nil {
-			return err
+		startStep, err = fault.SyncParameters(session.Engine(), byName, 0, startStep)
+		if err != nil {
+			return nil, err
 		}
-		// All ranks must agree on the resume step; broadcast it as a
-		// one-element tensor from rank 0.
-		stepT := tensor.FromSlice([]float32{float32(startStep)})
-		if err := session.BroadcastParameters([]optimizer.Param{{Name: "__resume_step", Weight: stepT}}, 0); err != nil {
-			return err
-		}
-		startStep = int(stepT.At(0))
 	}
 
-	sgd, err := optimizer.NewSGD(optimizer.Const(0.05), 0.9, 0)
+	// Stateless SGD: all training state lives in the parameters, so a restore
+	// plus SyncParameters fully determines the rest of the trajectory.
+	sgd, err := optimizer.NewSGD(optimizer.Const(0.05), 0, 0)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	opt := session.DistributedOptimizer(sgd)
 
-	rng := rand.New(rand.NewSource(int64(rank + 100)))
-	for step := startStep + 1; step <= startStep+steps; step++ {
+	for step := startStep + 1; step <= steps; step++ {
+		if step == crashStep && rank == victim {
+			net.Kill(rank) // chaos: this rank is gone mid-iteration
+			return nil, nil
+		}
 		const batch = 8
+		// Data is a pure function of (rank, step), so re-running a step after
+		// recovery reproduces it exactly.
+		rng := rand.New(rand.NewSource(int64(rank*100_000 + step)))
 		ins := make([][]float32, batch)
 		outs := make([][]float32, batch)
 		for i := range ins {
@@ -167,15 +238,15 @@ func workerPhase(rank int, ep transport.Endpoint, opts []perseus.Option, steps i
 		}
 		loss, err := mlp.Backward(ins, outs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := opt.Step(step, params); err != nil {
-			return err
+			return nil, err
 		}
-		if rank == 0 {
+		if rank == 0 && manager != nil {
 			if step%4 == 0 {
 				if err := manager.Save(fault.Snapshot(step, byName, map[string]string{"phase": "demo"})); err != nil {
-					return err
+					return nil, err
 				}
 				fmt.Printf("step %3d  loss %.5f  (checkpoint saved)\n", step, loss)
 			} else if step%2 == 0 {
@@ -183,5 +254,11 @@ func workerPhase(rank int, ep transport.Endpoint, opts []perseus.Option, steps i
 			}
 		}
 	}
-	return nil
+	out := make(map[string][]float32, len(byName))
+	for name, t := range byName {
+		vals := make([]float32, t.Len())
+		copy(vals, t.Data())
+		out[name] = vals
+	}
+	return out, nil
 }

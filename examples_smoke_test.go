@@ -25,8 +25,10 @@ func TestExamplesRun(t *testing.T) {
 			timeout: 2 * time.Minute,
 		},
 		{
-			dir:     "./examples/elastic",
-			wants:   []string{"simulated node failure", "rank 0 restored checkpoint", "checkpoint saved"},
+			dir: "./examples/elastic",
+			wants: []string{"simulated node failure", "rank 0 restored checkpoint",
+				"checkpoint saved", "classified peer failure",
+				"bit-identical to the uninterrupted run: true"},
 			timeout: 2 * time.Minute,
 		},
 		{

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,8 +19,15 @@ import (
 	"strings"
 
 	"aiacc/engine"
+	"aiacc/metrics"
 	"aiacc/tensor"
 )
+
+// mCorruptSkipped counts checkpoints Latest had to skip as unreadable —
+// nonzero after recovery means the newest save was torn and should be
+// investigated even though training resumed.
+var mCorruptSkipped = metrics.NewCounter("aiacc_fault_corrupt_checkpoints_skipped_total",
+	"Unreadable checkpoints skipped while loading the latest.")
 
 // Common errors.
 var (
@@ -107,8 +115,11 @@ func (m *Manager) path(step int) string {
 	return filepath.Join(m.dir, fmt.Sprintf("ckpt-%012d.gob", step))
 }
 
-// Save writes the checkpoint atomically (temp file + rename) and prunes old
-// ones.
+// Save writes the checkpoint crash-consistently: the temp file is fsynced
+// before the atomic rename (so a crash right after the rename cannot leave a
+// fully-named checkpoint with unflushed content — the torn-write window the
+// rename alone does not close), and the directory is fsynced after it (so the
+// rename itself survives a crash). Then old checkpoints are pruned.
 func (m *Manager) Save(ck *Checkpoint) error {
 	tmp, err := os.CreateTemp(m.dir, "ckpt-*.tmp")
 	if err != nil {
@@ -120,6 +131,11 @@ func (m *Manager) Save(ck *Checkpoint) error {
 		_ = os.Remove(tmpName)
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("checkpoint close: %w", err)
@@ -128,7 +144,23 @@ func (m *Manager) Save(ck *Checkpoint) error {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("checkpoint rename: %w", err)
 	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
 	return m.prune()
+}
+
+// syncDir flushes a directory's entry table so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint dir open: %w", err)
+	}
+	defer func() { _ = d.Close() }()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("checkpoint dir sync: %w", err)
+	}
+	return nil
 }
 
 // steps returns all checkpoint steps present, ascending.
@@ -167,7 +199,12 @@ func (m *Manager) prune() error {
 	return nil
 }
 
-// Latest loads the newest checkpoint, or ErrNoCheckpoint.
+// Latest loads the newest readable checkpoint, or ErrNoCheckpoint if none
+// exist. A corrupt or unreadable newest checkpoint (torn write from a crash
+// mid-save on a filesystem without ordered metadata, operator truncation) is
+// skipped — logged and counted — and the next-older one is tried, so a bad
+// tail never strands training that has older good state. Only when every
+// checkpoint fails to load does Latest report ErrCorruptCheckpoint.
 func (m *Manager) Latest() (*Checkpoint, error) {
 	steps, err := m.steps()
 	if err != nil {
@@ -176,7 +213,24 @@ func (m *Manager) Latest() (*Checkpoint, error) {
 	if len(steps) == 0 {
 		return nil, ErrNoCheckpoint
 	}
-	f, err := os.Open(m.path(steps[len(steps)-1]))
+	var firstErr error
+	for i := len(steps) - 1; i >= 0; i-- {
+		ck, err := m.load(steps[i])
+		if err == nil {
+			return ck, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		mCorruptSkipped.Inc()
+		log.Printf("fault: skipping unreadable checkpoint step %d: %v", steps[i], err)
+	}
+	return nil, fmt.Errorf("%w: all %d checkpoints unreadable, newest: %v",
+		ErrCorruptCheckpoint, len(steps), firstErr)
+}
+
+func (m *Manager) load(step int) (*Checkpoint, error) {
+	f, err := os.Open(m.path(step))
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint open: %w", err)
 	}
@@ -185,10 +239,23 @@ func (m *Manager) Latest() (*Checkpoint, error) {
 }
 
 // SyncParameters implements elastic join: every worker calls it collectively
-// and the root's parameter values are broadcast to all, so newly added
-// workers start from the live model state. Parameters are broadcast in
-// sorted name order so all ranks agree on the sequence.
-func SyncParameters(e *engine.Engine, params map[string]*tensor.Tensor, root int) error {
+// with its own step counter, and the root's parameter values *and* step are
+// broadcast to all, so newly added workers start from the live model state
+// and the live iteration count — without the step, a joined worker would
+// restart its LR schedule and checkpoint numbering at 0. Parameters are
+// broadcast in sorted name order so all ranks agree on the sequence; the
+// returned step is the root's on every rank.
+func SyncParameters(e *engine.Engine, params map[string]*tensor.Tensor, root, step int) (int, error) {
+	// The step rides the same broadcast path as the parameters, split into
+	// two float32 halves so each is integer-exact (a single float32 would
+	// silently round steps above 2^24).
+	st := tensor.New(2)
+	st.Data()[0] = float32(step >> 16)
+	st.Data()[1] = float32(step & 0xFFFF)
+	if err := e.Broadcast(st, root); err != nil {
+		return 0, fmt.Errorf("sync step: %w", err)
+	}
+	step = int(st.Data()[0])<<16 | int(st.Data()[1])
 	names := make([]string, 0, len(params))
 	for name := range params {
 		names = append(names, name)
@@ -196,8 +263,8 @@ func SyncParameters(e *engine.Engine, params map[string]*tensor.Tensor, root int
 	sort.Strings(names)
 	for _, name := range names {
 		if err := e.Broadcast(params[name], root); err != nil {
-			return fmt.Errorf("sync parameter %q: %w", name, err)
+			return 0, fmt.Errorf("sync parameter %q: %w", name, err)
 		}
 	}
-	return nil
+	return step, nil
 }

@@ -3,6 +3,7 @@ package fault
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -181,13 +182,20 @@ func TestSyncParametersElasticJoin(t *testing.T) {
 			defer func() { _ = eng.Close() }()
 
 			params := map[string]*tensor.Tensor{"w": tensor.New(4)}
+			localStep := 0
 			if r == 0 { // the established worker has live state
 				for i := 0; i < 4; i++ {
 					params["w"].Set(i, float32(10+i))
 				}
+				localStep = 70001 // exercises the two-halves step encoding
 			}
-			if err := SyncParameters(eng, params, 0); err != nil {
+			step, err := SyncParameters(eng, params, 0, localStep)
+			if err != nil {
 				errc <- err
+				return
+			}
+			if step != 70001 {
+				errc <- fmt.Errorf("joined worker got step %d, want 70001", step)
 				return
 			}
 			for i := 0; i < 4; i++ {

@@ -22,6 +22,7 @@ import (
 	"math/bits"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"aiacc/metrics"
 )
@@ -57,6 +58,19 @@ var (
 	mDropped = metrics.NewCounter("aiacc_bufpool_dropped_puts_total",
 		"Puts outside the pooled capacity range, dropped.")
 )
+
+// gets/puts are always-on balance counters (plain atomics, not registry
+// instruments, so they stay live under metrics.SetEnabled(false)): every Get
+// of a non-empty buffer increments gets and every Put of a non-empty buffer
+// increments puts, whichever size class (or fallback path) served it. Failure
+// tests delta Outstanding() around an aborted collective to prove the unwind
+// returned every pooled buffer it took.
+var gets, puts atomic.Int64
+
+// Outstanding returns gets-minus-puts since process start. Only deltas are
+// meaningful: buffers allocated outside the pool but Put into it shift the
+// absolute value.
+func Outstanding() int64 { return gets.Load() - puts.Load() }
 
 func init() {
 	for k := 0; k < numClasses; k++ {
@@ -104,6 +118,7 @@ func Get(n int) []byte {
 	if n == 0 {
 		return empty
 	}
+	gets.Add(1)
 	k := classFor(n)
 	if k >= numClasses {
 		mOversize.Inc()
@@ -145,6 +160,9 @@ func take(k int) []byte {
 // maximum are dropped (see package comment for why the floor is load-bearing).
 // Put(nil) is a no-op. The caller must not touch the buffer afterwards.
 func Put(b []byte) {
+	if cap(b) > 0 {
+		puts.Add(1)
+	}
 	k := classOf(cap(b))
 	if k < 0 {
 		if cap(b) > 0 {

@@ -1,0 +1,106 @@
+package gradsync
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/internal/leakcheck"
+	"aiacc/mpi"
+	"aiacc/transport"
+	"aiacc/transport/chaos"
+)
+
+// runMasterChaos performs one Master-coordinator agreement round per rank over
+// a chaos-wrapped mem transport and returns each rank's error. A watchdog
+// enforces hang-freedom: the agreement must unwind on every rank even when the
+// plan kills one of them mid-protocol.
+func runMasterChaos(t *testing.T, size int, plan *chaos.Plan) []error {
+	t.Helper()
+	inner, err := transport.NewMem(size, 1,
+		transport.WithMemOpTimeout(2*time.Second), transport.WithBuffer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := chaos.Wrap(inner, plan)
+	defer func() { _ = net.Close() }()
+	const grads = 130 // spans three 64-bit words
+	results := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(r int, ep transport.Endpoint) {
+			defer wg.Done()
+			m := NewMaster(mpi.NewWorld(ep), 0)
+			local := NewSyncVector(grads)
+			for id := 0; id < grads; id++ {
+				_ = local.Set(id)
+			}
+			_, results[r] = m.Agree(local)
+		}(r, ep)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("master agreement hung under fault\n%s", buf[:n])
+	}
+	return results
+}
+
+func assertAgreeUnwound(t *testing.T, results []error, victim int) {
+	t.Helper()
+	for r, err := range results {
+		switch {
+		case err == nil:
+			t.Errorf("rank %d: agreement succeeded despite rank %d's crash", r, victim)
+		case r == victim:
+			if !errors.Is(err, chaos.ErrKilled) && !transport.IsCommFailure(err) {
+				t.Errorf("victim error unclassified: %v", err)
+			}
+		case !transport.IsCommFailure(err):
+			t.Errorf("rank %d: unclassified failure: %v", r, err)
+		}
+	}
+}
+
+// A worker that dies before reporting must not wedge the master's gather; the
+// master unwinds and poisons the remaining workers' decision lanes so they
+// fail promptly too (collective.Unwind inside Master.Agree).
+func TestMasterAgreeWorkerCrash(t *testing.T) {
+	const victim = 2
+	base := leakcheck.Take()
+	results := runMasterChaos(t, 4, chaos.NewPlan(11).CrashRank(victim, 0))
+	assertAgreeUnwound(t, results, victim)
+	if err := base.Goroutines(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := base.Buffers(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// The master dying mid-decision is the protocol's worst case — the single
+// point of failure §III warns about. Every worker must observe a classified
+// peer failure instead of blocking on a decision that will never arrive.
+func TestMasterAgreeMasterCrash(t *testing.T) {
+	const victim = 0
+	base := leakcheck.Take()
+	results := runMasterChaos(t, 4, chaos.NewPlan(12).CrashRank(victim, 0))
+	assertAgreeUnwound(t, results, victim)
+	if err := base.Goroutines(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := base.Buffers(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+}

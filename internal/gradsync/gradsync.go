@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"aiacc/collective"
+	"aiacc/internal/bufpool"
 	"aiacc/internal/wire"
 	"aiacc/metrics"
 	"aiacc/mpi"
@@ -339,8 +340,20 @@ func NewMaster(comm *mpi.Comm, stream int) *Master {
 func (m *Master) SetTrace(rec *trace.Recorder) { m.rec = rec }
 
 // Agree implements Coordinator. The result aliases the coordinator's scratch
-// vector (see Coordinator).
+// vector (see Coordinator). A failed round unwinds with the collective abort
+// policy (collective.Unwind): the master poisons every worker lane so workers
+// blocked on the decision fail promptly, and a failed worker poisons its lane
+// to the master — either way all ranks converge on a wrapped error within the
+// transport's deadline instead of hanging the agreement.
 func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
+	v, err := m.agree(local)
+	if err != nil {
+		err = collective.Unwind(m.comm, m.stream, err)
+	}
+	return v, err
+}
+
+func (m *Master) agree(local *SyncVector) (*SyncVector, error) {
 	if m.scratch == nil || m.scratch.n != local.n {
 		m.scratch = NewSyncVector(local.n)
 		m.words = make([]uint64, len(m.scratch.bits))
@@ -364,7 +377,9 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 			if err != nil {
 				return nil, fmt.Errorf("master gather from %d: %w", from, err)
 			}
-			if err := decodeWordsInto(m.words, payload); err != nil {
+			err = decodeWordsInto(m.words, payload)
+			bufpool.Put(payload) // delivered payloads are owned here; recycle
+			if err != nil {
 				return nil, err
 			}
 			if err := global.andWords(m.words); err != nil {
@@ -390,7 +405,9 @@ func (m *Master) Agree(local *SyncVector) (*SyncVector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("worker decision: %w", err)
 	}
-	if err := decodeWordsInto(global.bits, payload); err != nil {
+	err = decodeWordsInto(global.bits, payload)
+	bufpool.Put(payload)
+	if err != nil {
 		return nil, err
 	}
 	return global, nil

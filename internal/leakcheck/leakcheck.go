@@ -1,0 +1,84 @@
+// Package leakcheck provides goroutine- and buffer-accounting helpers for
+// the failure-path tests (DESIGN.md §8): after a collective unwinds through a
+// fault, no goroutine may be left blocked on a dead lane and every pooled
+// buffer the operation borrowed must be back in internal/bufpool.
+//
+// Goroutine counting in a process that keeps pooled infrastructure warm
+// (internal/sendpool idles persistent senders; the runtime lazily grows its
+// own service goroutines) cannot demand an exact return to the starting
+// count. Instead Snapshot records a baseline and Check polls until the count
+// falls back to baseline plus a small slack, quiescing abandoned sendpool
+// senders first — a genuine leak (a reader parked on a wedged Recv, a writer
+// goroutine that never exited) holds the count elevated forever and fails the
+// deadline.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"aiacc/internal/bufpool"
+	"aiacc/internal/sendpool"
+)
+
+// Snapshot is a point-in-time goroutine and buffer-pool baseline.
+type Snapshot struct {
+	goroutines  int
+	outstanding int64
+}
+
+// Take records the current goroutine count and bufpool balance. Call it
+// before building the transport under test.
+func Take() Snapshot {
+	return Snapshot{
+		goroutines:  runtime.NumGoroutine(),
+		outstanding: bufpool.Outstanding(),
+	}
+}
+
+// slack tolerates goroutines that are legitimately alive after teardown:
+// sendpool keeps up to its idle cap of persistent senders warm, and the
+// runtime may have grown GC/timer service goroutines under load.
+const slack = 12
+
+// Goroutines polls until the goroutine count returns to baseline+slack or
+// the deadline passes, first waiting for abandoned sendpool senders to
+// quiesce. It returns an error naming the excess (with a stack dump) on
+// timeout.
+func (s Snapshot) Goroutines(deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for {
+		if sendpool.PendingAbandoned() == 0 && runtime.NumGoroutine() <= s.goroutines+slack {
+			return nil
+		}
+		if time.Now().After(limit) {
+			break
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return fmt.Errorf("leakcheck: %d goroutines (baseline %d, slack %d, abandoned senders %d) after %v\n%s",
+		runtime.NumGoroutine(), s.goroutines, slack, sendpool.PendingAbandoned(), deadline, buf[:n])
+}
+
+// Buffers polls until bufpool's outstanding-buffer balance returns to the
+// baseline or the deadline passes. Every buffer an errored collective
+// borrowed — payloads in flight, codec scratch, receive frames — must have
+// been recycled on the unwind path for this to hold.
+func (s Snapshot) Buffers(deadline time.Duration) error {
+	limit := time.Now().Add(deadline)
+	for {
+		d := bufpool.Outstanding() - s.outstanding
+		if d <= 0 {
+			return nil
+		}
+		if time.Now().After(limit) {
+			return fmt.Errorf("leakcheck: %d pooled buffers outstanding after %v", d, deadline)
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -12,7 +12,19 @@
 // free-list cap are retired by closing their feed channel).
 package sendpool
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// abandoned counts senders handed to Abandon/AbandonPipe whose background
+// drain has not completed yet. Failure tests poll PendingAbandoned() to
+// quiesce before asserting goroutine and buffer-pool balance: an abandoned
+// sender still holds an in-flight payload until the transport releases it.
+var abandoned atomic.Int64
+
+// PendingAbandoned returns how many abandoned senders are still draining.
+func PendingAbandoned() int64 { return abandoned.Load() }
 
 // Sender is the point-to-point send half used by collectives; *mpi.Comm and
 // transport.Endpoint both satisfy it.
@@ -82,9 +94,11 @@ func Acquire() *Async {
 // error path of an operation that failed between Send and Wait. The sender is
 // drained in the background and pooled once the transport releases it.
 func Abandon(a *Async) {
+	abandoned.Add(1)
 	go func() {
 		<-a.err
 		Release(a)
+		abandoned.Add(-1)
 	}()
 }
 
@@ -161,11 +175,13 @@ func AbandonPipe(p *Pipe, outstanding int) {
 		ReleasePipe(p)
 		return
 	}
+	abandoned.Add(1)
 	go func() {
 		for i := 0; i < outstanding; i++ {
 			<-p.err
 		}
 		ReleasePipe(p)
+		abandoned.Add(-1)
 	}()
 }
 

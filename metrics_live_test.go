@@ -192,3 +192,44 @@ func TestMetricsOverheadGate(t *testing.T) {
 	t.Fatalf("instrumented all-reduce regressed beyond %.0f%%: enabled %v vs disabled %v",
 		(bound-1)*100, on, off)
 }
+
+// TestHeartbeatOverheadGate bounds the happy-path cost of TCP liveness
+// heartbeats (DESIGN.md §8): probes are idle-only, so a busy all-reduce loop
+// with heartbeats enabled must stay within 5% of the same loop without them.
+// Opt-in alongside the metrics gate (make metrics-overhead) because it times
+// real sockets on a shared machine.
+func TestHeartbeatOverheadGate(t *testing.T) {
+	if os.Getenv("AIACC_OVERHEAD_GATE") == "" {
+		t.Skip("set AIACC_OVERHEAD_GATE=1 (or run `make metrics-overhead`) to run the timing gate")
+	}
+	const iters, trials, attempts = 30, 5, 3
+	measure := func(opts ...transport.TCPOption) time.Duration {
+		net, err := transport.NewTCP(4, 1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = net.Close() }()
+		h := newRingHarness(t, net, 1<<16)
+		h.run(t, 10) // warm-up: connections, pools
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < trials; i++ {
+			if d := h.run(t, iters); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const bound = 1.05
+	var on, off time.Duration
+	for a := 0; a < attempts; a++ {
+		off = measure()
+		on = measure(transport.WithHeartbeat(50 * time.Millisecond))
+		ratio := float64(on) / float64(off)
+		t.Logf("attempt %d: heartbeats %v, none %v, ratio %.4f", a, on, off, ratio)
+		if ratio <= bound {
+			return
+		}
+	}
+	t.Fatalf("heartbeats cost more than %.0f%% on the happy path: %v vs %v",
+		(bound-1)*100, on, off)
+}

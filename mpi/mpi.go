@@ -86,6 +86,22 @@ func (c *Comm) Recv(from, stream int) ([]byte, error) {
 	return c.ep.Recv(g, stream)
 }
 
+// Abort poisons the directed (to, stream) lane toward communicator member
+// `to`, attributing the failure to the *global* rank globalOrigin (DESIGN.md
+// §8): the peer's pending and subsequent Recvs on that lane fail with a
+// transport.PeerFailedError naming the origin. The origin is global (not
+// communicator-relative) because failures cross communicator boundaries — a
+// hierarchical all-reduce propagates a leader-ring failure into node groups
+// the origin is not a member of. A transport without abort support makes this
+// a no-op — the peer then unwinds through its own op deadline instead.
+func (c *Comm) Abort(to, stream, globalOrigin int) error {
+	g, err := c.GlobalRank(to)
+	if err != nil {
+		return err
+	}
+	return transport.Abort(c.ep, g, stream, globalOrigin)
+}
+
 // Subgroup derives a communicator over the given global ranks. Every member
 // of the subgroup must call Subgroup with the same set; the caller must be a
 // member. Duplicates are rejected; ordering is normalized ascending so that

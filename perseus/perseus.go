@@ -174,6 +174,11 @@ func NewSession(ep transport.Endpoint, opts ...Option) (*Session, error) {
 	return &Session{engine: engine, comm: comm}, nil
 }
 
+// Engine exposes the underlying gradient engine for subsystems that compose
+// with it directly — e.g. fault.SyncParameters takes an *engine.Engine so the
+// elastic-join broadcast can carry the resume step alongside the parameters.
+func (s *Session) Engine() *engine.Engine { return s.engine }
+
 // Rank returns this worker's rank — hvd.rank().
 func (s *Session) Rank() int { return s.engine.Rank() }
 

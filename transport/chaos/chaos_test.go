@@ -1,0 +1,257 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"aiacc/internal/bufpool"
+	"aiacc/internal/leakcheck"
+	"aiacc/transport"
+)
+
+func mem(t *testing.T, size, streams int, plan *Plan) (*Network, []transport.Endpoint) {
+	t.Helper()
+	inner, err := transport.NewMem(size, streams,
+		transport.WithMemOpTimeout(500*time.Millisecond), transport.WithBuffer(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Wrap(inner, plan)
+	t.Cleanup(func() { _ = net.Close() })
+	eps := make([]transport.Endpoint, size)
+	for r := range eps {
+		if eps[r], err = net.Endpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, eps
+}
+
+// Same seed, same mesh shape: identical fault schedule, every time.
+func TestRandomizedDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := Randomized(seed, 4, 3)
+		b := Randomized(seed, 4, 3)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: plans differ:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	// Sanity: seeds actually vary the scenario.
+	if reflect.DeepEqual(Randomized(1, 4, 3), Randomized(2, 4, 3)) &&
+		reflect.DeepEqual(Randomized(2, 4, 3), Randomized(3, 4, 3)) {
+		t.Error("distinct seeds produced identical plans")
+	}
+}
+
+func TestCrashRankAtMessageN(t *testing.T) {
+	base := leakcheck.Take()
+	_, eps := mem(t, 2, 1, NewPlan(7).CrashRank(1, 2))
+	// Rank 1's first two sends succeed, the third triggers the crash.
+	for i := 0; i < 2; i++ {
+		if err := eps[1].Send(0, 0, bufpool.Get(8)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := eps[1].Send(0, 0, bufpool.Get(8)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("crash send = %v, want ErrKilled", err)
+	}
+	if _, err := eps[1].Recv(0, 0); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-crash Recv = %v, want ErrKilled", err)
+	}
+	// The survivor drains the delivered frames, then observes the death as a
+	// peer failure — never a clean ErrClosed.
+	for i := 0; i < 2; i++ {
+		data, err := eps[0].Recv(1, 0)
+		if err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+		bufpool.Put(data)
+	}
+	_, err := eps[0].Recv(1, 0)
+	if r, ok := transport.FailedRank(err); !ok || r != 1 {
+		t.Fatalf("survivor Recv = %v, want PeerFailedError{1}", err)
+	}
+	if err := base.Buffers(2 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionIsAsymmetric(t *testing.T) {
+	base := leakcheck.Take()
+	_, eps := mem(t, 2, 1, NewPlan(7).Partition(0, 1))
+	// 0 -> 1 is blackholed: the send "succeeds", the receiver times out.
+	if err := eps[0].Send(1, 0, bufpool.Get(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[1].Recv(0, 0); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("partitioned Recv = %v, want ErrTimeout", err)
+	}
+	// 1 -> 0 still flows.
+	if err := eps[1].Send(0, 0, bufpool.Get(8)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := eps[0].Recv(1, 0)
+	if err != nil {
+		t.Fatalf("reverse lane: %v", err)
+	}
+	bufpool.Put(data)
+	if err := base.Buffers(2 * time.Second); err != nil {
+		t.Error(err) // the blackholed payload must have been recycled
+	}
+}
+
+func TestDropMessageNth(t *testing.T) {
+	_, eps := mem(t, 2, 2, NewPlan(7).DropMessage(0, 1, 1, 2))
+	// Stream 1 drops only its 2nd message; stream 0 is untouched.
+	for i := 0; i < 3; i++ {
+		b := bufpool.Get(1)
+		b[0] = byte(i)
+		if err := eps[0].Send(1, 1, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []byte{0, 2} {
+		data, err := eps[1].Recv(0, 1)
+		if err != nil || data[0] != want {
+			t.Fatalf("got %v/%v, want payload %d", data, err, want)
+		}
+		bufpool.Put(data)
+	}
+	if err := eps[0].Send(1, 0, bufpool.Get(4)); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := eps[1].Recv(0, 0); err != nil {
+		t.Fatalf("untouched stream: %v", err)
+	} else {
+		bufpool.Put(data)
+	}
+}
+
+func TestTruncateFrame(t *testing.T) {
+	_, eps := mem(t, 2, 1, NewPlan(7).TruncateFrame(0, 1, 0, 1, 3))
+	b := bufpool.Get(8)
+	if err := eps[0].Send(1, 0, b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := eps[1].Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 5 {
+		t.Fatalf("truncated frame is %d bytes, want 5", len(data))
+	}
+	bufpool.Put(data)
+}
+
+func TestDelayAndStallSlowButCorrect(t *testing.T) {
+	plan := NewPlan(7).
+		Delay(0, 1, -1, 5*time.Millisecond, 5*time.Millisecond).
+		StallReceiver(1, 5*time.Millisecond)
+	if plan.Lethal() {
+		t.Fatal("latency-only plan classified lethal")
+	}
+	_, eps := mem(t, 2, 1, plan)
+	start := time.Now()
+	if err := eps[0].Send(1, 0, bufpool.Get(8)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := eps[1].Recv(0, 0)
+	if err != nil || len(data) != 8 {
+		t.Fatalf("delayed delivery: %v", err)
+	}
+	bufpool.Put(data)
+	if time.Since(start) < 10*time.Millisecond {
+		t.Errorf("faults injected no latency (%v)", time.Since(start))
+	}
+}
+
+// Kill is the runtime crash trigger: every local op fails with ErrKilled and
+// peers observe connection death.
+func TestKillRuntime(t *testing.T) {
+	net, eps := mem(t, 3, 1, NewPlan(7))
+	if err := net.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[2].Send(0, 0, bufpool.Get(8)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed Send = %v", err)
+	}
+	if !errors.Is(ErrKilled, transport.ErrClosed) {
+		t.Fatal("ErrKilled must read as local teardown (no abort storm from a corpse)")
+	}
+	_, err := eps[0].Recv(2, 0)
+	if r, ok := transport.FailedRank(err); !ok || r != 2 {
+		t.Fatalf("survivor Recv = %v, want PeerFailedError{2}", err)
+	}
+}
+
+func TestPlanIntrospection(t *testing.T) {
+	p := NewPlan(3).CrashRank(2, 5).CrashRank(0, 9)
+	if !p.Lethal() {
+		t.Error("crash plan not lethal")
+	}
+	if got := p.Victims(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Victims = %v", got)
+	}
+	if NewPlan(3).Delay(0, 1, -1, time.Millisecond, 0).Lethal() {
+		t.Error("delay plan classified lethal")
+	}
+	for _, p := range []*Plan{
+		NewPlan(1).Partition(0, 1),
+		NewPlan(1).DropMessage(0, 1, 0, 1),
+		NewPlan(1).TruncateFrame(0, 1, 0, 1, 1),
+	} {
+		if !p.Lethal() {
+			t.Errorf("plan %+v not lethal", p)
+		}
+	}
+}
+
+// The wrapper must pass the abort protocol through to the inner transport.
+func TestAbortDelegation(t *testing.T) {
+	_, eps := mem(t, 2, 1, NewPlan(7))
+	if err := eps[0].(*Endpoint).Abort(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eps[1].Recv(0, 0)
+	if !errors.Is(err, transport.ErrAborted) {
+		t.Fatalf("Recv after delegated abort = %v", err)
+	}
+}
+
+// Chaos over the real TCP mesh: a crash closes sockets, survivors classify it.
+func TestChaosOverTCP(t *testing.T) {
+	inner, err := transport.NewTCP(2, 1, transport.WithOpTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Wrap(inner, NewPlan(11).CrashRank(1, 1))
+	defer func() { _ = net.Close() }()
+	eps := make([]transport.Endpoint, 2)
+	for r := range eps {
+		if eps[r], err = net.Endpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eps[1].Send(0, 0, bufpool.Get(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[1].Send(0, 0, bufpool.Get(8)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("crash send = %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, err := eps[0].Recv(1, 0)
+		if err != nil {
+			if !transport.IsCommFailure(err) {
+				t.Fatalf("survivor Recv = %v", err)
+			}
+			break
+		}
+		bufpool.Put(data)
+		if time.Now().After(deadline) {
+			t.Fatal("survivor never observed the crash")
+		}
+	}
+}

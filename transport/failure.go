@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Failure-handling errors (DESIGN.md §8 "Failure model"). The transport
+// distinguishes three ways an operation can stop making progress:
+//
+//   - ErrClosed: this endpoint was closed locally — normal teardown.
+//   - ErrTimeout: the operation exceeded the endpoint's WithOpTimeout /
+//     WithMemOpTimeout deadline. The peer may be alive but wedged; the caller
+//     must treat the collective as failed.
+//   - ErrPeerFailed (always carried inside a *PeerFailedError): a specific
+//     remote rank is known to be gone — its connection died, it stopped
+//     heartbeating, or it propagated an abort frame naming the origin of a
+//     collective failure.
+var (
+	// ErrTimeout is returned when an operation exceeds the endpoint's
+	// configured op deadline.
+	ErrTimeout = errors.New("transport: operation timed out")
+	// ErrPeerFailed is the sentinel matched by errors.Is for any
+	// *PeerFailedError.
+	ErrPeerFailed = errors.New("transport: peer failed")
+	// ErrAborted is the cause recorded when a peer poisoned the lane with an
+	// abort frame (collective unwind) rather than dying itself.
+	ErrAborted = errors.New("transport: collective aborted by peer")
+	// ErrLiveness is the cause recorded when a peer stopped sending both data
+	// and heartbeat frames for longer than the liveness window.
+	ErrLiveness = errors.New("transport: peer liveness timeout")
+)
+
+// PeerFailedError reports that a specific rank can no longer participate in
+// the communication: its connection failed, it went silent past the liveness
+// window, or a collective abort named it as the origin of a failure.
+// errors.Is(err, ErrPeerFailed) matches it through any wrapping.
+type PeerFailedError struct {
+	// Rank is the global (network-level) rank that failed.
+	Rank int
+	// Cause is why the rank is considered failed (ErrAborted, ErrLiveness, a
+	// socket error, ...). May be nil.
+	Cause error
+}
+
+// Error implements error.
+func (e *PeerFailedError) Error() string {
+	if e.Cause == nil {
+		return fmt.Sprintf("transport: peer rank %d failed", e.Rank)
+	}
+	return fmt.Sprintf("transport: peer rank %d failed: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PeerFailedError) Unwrap() error { return e.Cause }
+
+// Is makes errors.Is(err, ErrPeerFailed) match every PeerFailedError.
+func (e *PeerFailedError) Is(target error) bool { return target == ErrPeerFailed }
+
+// FailedRank extracts the failed global rank from an error chain, if any.
+func FailedRank(err error) (int, bool) {
+	var pf *PeerFailedError
+	if errors.As(err, &pf) {
+		return pf.Rank, true
+	}
+	return 0, false
+}
+
+// IsCommFailure reports whether err means the communication substrate failed
+// (timeout, peer failure, or closed transport) as opposed to a local logic
+// error.
+func IsCommFailure(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrPeerFailed) || errors.Is(err, ErrClosed)
+}
+
+// Aborter is the optional endpoint capability behind collective abort: Abort
+// poisons the directed (to, stream) lane so the peer's pending and subsequent
+// Recvs on it fail with a *PeerFailedError naming `origin` as the rank whose
+// failure started the unwind. Both built-in transports implement it.
+type Aborter interface {
+	Abort(to, stream, origin int) error
+}
+
+// Abort poisons the (to, stream) lane of ep when the endpoint supports it,
+// attributing the failure to global rank origin. Unsupported endpoints are a
+// no-op: the peer then unwinds through its own op deadline instead.
+func Abort(ep Endpoint, to, stream, origin int) error {
+	if a, ok := ep.(Aborter); ok {
+		return a.Abort(to, stream, origin)
+	}
+	return nil
+}

@@ -20,6 +20,21 @@ var (
 		"Mesh handshakes accepted.")
 	mBindRetries = metrics.NewCounter("aiacc_transport_bind_retries_total",
 		"Listener bind retries after transient EADDRINUSE.")
+	mRedials = metrics.NewCounter("aiacc_transport_redials_total",
+		"Dial attempts retried with exponential backoff during mesh establishment.")
+	mPeerFailures = metrics.NewCounter("aiacc_transport_peer_failures_total",
+		"Peers declared failed (connection death, liveness timeout).")
+	mHeartbeatsSent = metrics.NewCounter("aiacc_transport_heartbeats_sent_total",
+		"Idle keep-alive heartbeat frames sent.")
+	mHeartbeatsRecv = metrics.NewCounter("aiacc_transport_heartbeats_recv_total",
+		"Heartbeat frames received.")
+	mAbortsSent = metrics.NewCounter("aiacc_transport_aborts_sent_total",
+		"Collective abort frames sent to poison peer lanes.")
+	mAbortsRecv = metrics.NewCounter("aiacc_transport_aborts_recv_total",
+		"Collective abort frames received (lane poisoned).")
+	mHeartbeatDelayNs = metrics.NewHistogram("aiacc_transport_heartbeat_delay_ns",
+		"One-way heartbeat delay (send timestamp to receipt; includes clock skew).",
+		metrics.LatencyNs)
 )
 
 // tcpMetrics is one endpoint's bundle of transport instruments.

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aiacc/internal/bufpool"
@@ -24,7 +26,9 @@ import (
 //
 // Wire format: each message is a frame of a 4-byte big-endian length followed
 // by the payload. When a connection is established the dialer first sends an
-// 8-byte header identifying (from rank, stream id).
+// 8-byte header identifying (from rank, stream id). Two header values above
+// maxFrameBytes are reserved as control markers (heartbeat, abort) and carry
+// small fixed-size payloads that never reach Recv.
 //
 // Data plane (DESIGN.md §6, "TCP framing and buffer recycling"):
 //
@@ -39,6 +43,13 @@ import (
 //   - Reader goroutines prefetch: each (peer, stream) inbox buffers
 //     inboxDepth decoded frames ahead of Recv, overlapping the socket read of
 //     frame k+1 with the caller's reduction of frame k.
+//
+// Failure model (DESIGN.md §8): WithOpTimeout bounds every blocking Send and
+// Recv; WithHeartbeat adds idle keep-alive frames plus a liveness read
+// deadline so a silently-dead peer is detected; a reader that dies for any
+// reason other than local teardown fans the failure out to every Recv on that
+// peer via a per-peer down channel, and collective aborts propagate as
+// control frames that poison the receiving lane.
 type tcpNetwork struct {
 	size    int
 	streams int
@@ -65,6 +76,18 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds 1 GiB limit")
 // a buffer allocation: a larger length means a corrupt or hostile stream.
 const maxFrameBytes = 1 << 30
 
+// Control-frame markers. Both sit far above maxFrameBytes, so a data frame's
+// length header can never collide with them; a header outside both markers
+// and the size limit still fails the stream with ErrFrameTooLarge.
+const (
+	// heartbeatMarker frames carry an 8-byte big-endian send timestamp
+	// (UnixNano) so the receiver can histogram one-way delay.
+	heartbeatMarker = 0xFFFFFFFF
+	// abortMarker frames carry a 4-byte big-endian origin rank: the rank whose
+	// failure started the collective unwind. The receiving lane is poisoned.
+	abortMarker = 0xFFFFFFFE
+)
+
 // TCPOption tunes the TCP data plane of NewTCP (and, via WithTCPOptions, of
 // NewTCPWorker).
 type TCPOption func(*tcpConfig)
@@ -75,6 +98,8 @@ type tcpConfig struct {
 	sndBuf      int
 	rcvBuf      int
 	noDelay     bool
+	opTimeout   time.Duration
+	heartbeat   time.Duration
 	trace       *trace.Recorder
 }
 
@@ -128,6 +153,55 @@ func WithSocketBuffers(snd, rcv int) TCPOption {
 // Nagle's algorithm, trading latency for kernel-side small-frame coalescing.
 func WithNoDelay(v bool) TCPOption {
 	return func(c *tcpConfig) { c.noDelay = v }
+}
+
+// WithOpTimeout bounds every blocking Send and Recv on the mesh: a Recv with
+// no frame and a Send whose socket cannot drain within d fail with a wrapped
+// ErrTimeout instead of blocking forever behind a dead or wedged peer. The
+// default of 0 keeps the historical unbounded behaviour. (The in-process
+// transport's equivalent is WithMemOpTimeout.)
+func WithOpTimeout(d time.Duration) TCPOption {
+	return func(c *tcpConfig) {
+		if d > 0 {
+			c.opTimeout = d
+		}
+	}
+}
+
+// WithHeartbeat enables liveness on the mesh: every interval, each outgoing
+// socket that has been idle for at least that long carries a small heartbeat
+// frame, and the read side arms a deadline of 4x the interval — a peer that
+// produces neither data nor heartbeats for a full window is declared failed
+// with ErrLiveness. Heartbeats must be enabled symmetrically on every rank of
+// the mesh (they are when the option is passed to NewTCP; worker deployments
+// must pass the same options to every NewTCPWorker). Busy links never carry
+// heartbeats, so the happy-path cost is zero. Default off.
+func WithHeartbeat(interval time.Duration) TCPOption {
+	return func(c *tcpConfig) {
+		if interval > 0 {
+			c.heartbeat = interval
+		}
+	}
+}
+
+// livenessWindow is how long a reader waits for any frame (data or
+// heartbeat) before declaring the peer dead, as a multiple of the heartbeat
+// interval: tolerant of a few lost ticks under scheduler jitter.
+func (c *tcpConfig) livenessWindow() time.Duration {
+	if c.heartbeat <= 0 {
+		return 0
+	}
+	return 4 * c.heartbeat
+}
+
+// writeTimeout bounds one writev flush: the explicit op timeout when set,
+// else the liveness window when heartbeats are on (a socket that cannot
+// drain for a full window is as dead as a silent one).
+func (c *tcpConfig) writeTimeout() time.Duration {
+	if c.opTimeout > 0 {
+		return c.opTimeout
+	}
+	return c.livenessWindow()
 }
 
 // apply sets the configured socket options, best effort: a transport that
@@ -235,6 +309,9 @@ func NewTCP(size, streams int, opts ...TCPOption) (Network, error) {
 			return nil, err
 		}
 	}
+	for _, ep := range n.endpoints {
+		ep.startHeartbeat()
+	}
 	return n, nil
 }
 
@@ -275,6 +352,14 @@ func (n *tcpNetwork) Close() error {
 	return nil
 }
 
+// outFrame is one queued frame: a data payload (ctrl == 0, header is the
+// payload length) or a control frame (ctrl is the marker header and data the
+// marker's fixed-size body, which is caller-owned scratch, not pool memory).
+type outFrame struct {
+	data []byte
+	ctrl uint32
+}
+
 // connWriter owns one outgoing socket. It frames messages with a vectored
 // write (header + payload in a single writev) and acts as a combining lock:
 // when several goroutines send on the same socket concurrently, whoever holds
@@ -288,6 +373,7 @@ func (n *tcpNetwork) Close() error {
 // it into the wire pool — that is what closes the zero-allocation loop with
 // the pooled receive path. The pool's minimum size class protects
 // deliberately shared tiny payloads (mpi.Barrier's token) from being reused.
+// Control-frame bodies are never pooled and never recycled.
 type connWriter struct {
 	mu      sync.Mutex
 	cond    sync.Cond
@@ -298,13 +384,18 @@ type connWriter struct {
 	done    uint64 // every frame <= done has been written (or failed)
 	written uint64 // every frame <= written was written successfully
 
-	queue [][]byte // frames awaiting the next flush
-	spare [][]byte // ping-pong backing array for queue
+	queue []outFrame // frames awaiting the next flush
+	spare []outFrame // ping-pong backing array for queue
 
 	// Flush scratch, reused across batches.
 	hdrs []byte
 	vecs [][]byte
 	bufs net.Buffers
+
+	// Idle tracking for the heartbeat ticker (only written when trackIdle).
+	trackIdle    bool
+	lastEnq      atomic.Int64 // UnixNano of the last enqueued frame
+	writeTimeout time.Duration
 
 	// Observability (set once at endpoint construction, read-only after).
 	met  *tcpMetrics
@@ -321,6 +412,9 @@ func newConnWriter() *connWriter {
 func (w *connWriter) attach(conn net.Conn) {
 	w.mu.Lock()
 	w.conn = conn
+	if w.trackIdle {
+		w.lastEnq.Store(time.Now().UnixNano())
+	}
 	w.mu.Unlock()
 }
 
@@ -337,18 +431,35 @@ func (w *connWriter) close() {
 	w.mu.Unlock()
 }
 
-// send enqueues one frame and returns once it has been written to the socket
-// (possibly by another goroutine's flush). Ownership of data transfers to the
-// writer immediately.
+// send enqueues one data frame and returns once it has been written to the
+// socket (possibly by another goroutine's flush). Ownership of data transfers
+// to the writer immediately.
 func (w *connWriter) send(data []byte) error {
+	return w.enqueue(outFrame{data: data})
+}
+
+// sendCtrl enqueues one control frame and blocks until it is on the wire.
+// The body is borrowed from the caller for the duration of the call and not
+// recycled.
+func (w *connWriter) sendCtrl(ctrl uint32, body []byte) error {
+	return w.enqueue(outFrame{data: body, ctrl: ctrl})
+}
+
+func (w *connWriter) enqueue(f outFrame) error {
 	w.mu.Lock()
 	if w.conn == nil {
 		w.mu.Unlock()
+		if f.ctrl == 0 {
+			bufpool.Put(f.data)
+		}
 		return ErrClosed
+	}
+	if w.trackIdle {
+		w.lastEnq.Store(time.Now().UnixNano())
 	}
 	w.seq++
 	seq := w.seq
-	w.queue = append(w.queue, data)
+	w.queue = append(w.queue, f)
 	w.met.queueDepth.Observe(int64(len(w.queue)))
 	for {
 		if w.done >= seq {
@@ -389,6 +500,9 @@ func (w *connWriter) flushLocked() {
 	}
 	span := w.rec.Begin("tcp flush", "wire", w.lane)
 	if err == nil {
+		if w.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(w.writeTimeout))
+		}
 		err = w.writeFrames(conn, batch)
 	}
 	if w.rec != nil {
@@ -397,8 +511,10 @@ func (w *connWriter) flushLocked() {
 	if !t0.IsZero() {
 		w.met.flushNs.ObserveSince(t0)
 	}
-	for _, b := range batch {
-		bufpool.Put(b)
+	for _, f := range batch {
+		if f.ctrl == 0 {
+			bufpool.Put(f.data)
+		}
 	}
 	clear(batch)
 
@@ -416,22 +532,27 @@ func (w *connWriter) flushLocked() {
 }
 
 // writeFrames emits the batch as one vectored write: for each frame a 4-byte
-// big-endian length header sliced out of a shared scratch, then the payload.
-// net.Buffers.WriteTo on a *net.TCPConn turns this into writev(2) — one
-// syscall for the whole batch instead of two writes per frame.
-func (w *connWriter) writeFrames(conn net.Conn, batch [][]byte) error {
+// big-endian header sliced out of a shared scratch (the payload length, or
+// the control marker), then the body. net.Buffers.WriteTo on a *net.TCPConn
+// turns this into writev(2) — one syscall for the whole batch instead of two
+// writes per frame.
+func (w *connWriter) writeFrames(conn net.Conn, batch []outFrame) error {
 	if need := 4 * len(batch); cap(w.hdrs) < need {
 		w.hdrs = make([]byte, 0, need)
 	}
 	hdrs := w.hdrs[:0]
 	vecs := w.vecs[:0]
-	for _, data := range batch {
+	for _, f := range batch {
+		hdr := f.ctrl
+		if hdr == 0 {
+			hdr = uint32(len(f.data))
+		}
 		off := len(hdrs)
 		hdrs = append(hdrs, 0, 0, 0, 0)
-		binary.BigEndian.PutUint32(hdrs[off:], uint32(len(data)))
+		binary.BigEndian.PutUint32(hdrs[off:], hdr)
 		vecs = append(vecs, hdrs[off:off+4])
-		if len(data) > 0 {
-			vecs = append(vecs, data)
+		if len(f.data) > 0 {
+			vecs = append(vecs, f.data)
 		}
 	}
 	w.bufs = net.Buffers(vecs)
@@ -463,14 +584,25 @@ type tcpEndpoint struct {
 	inbox     []chan []byte
 	readerErr []error
 
+	// peerDown[r] is closed (with the cause stored in downErr[r] first) when
+	// any reader from peer r dies while this endpoint is still open: the
+	// connection-error fan-out that converts one dead socket into a prompt
+	// *PeerFailedError on every Recv from that peer.
+	peerDown []chan struct{}
+	downErr  []error
+	downOnce []sync.Once
+
 	readerWG  sync.WaitGroup
+	bgWG      sync.WaitGroup // heartbeat ticker + abort senders
 	closeOnce sync.Once
+	drainOnce sync.Once
 	closed    chan struct{}
 
 	met *tcpMetrics
 }
 
 var _ Endpoint = (*tcpEndpoint)(nil)
+var _ Aborter = (*tcpEndpoint)(nil)
 
 func newTCPEndpoint(rank, size, streams int, cfg tcpConfig) *tcpEndpoint {
 	ep := &tcpEndpoint{
@@ -481,6 +613,9 @@ func newTCPEndpoint(rank, size, streams int, cfg tcpConfig) *tcpEndpoint {
 		out:       make([]*connWriter, size*streams),
 		inbox:     make([]chan []byte, size*streams),
 		readerErr: make([]error, size*streams),
+		peerDown:  make([]chan struct{}, size),
+		downErr:   make([]error, size),
+		downOnce:  make([]sync.Once, size),
 		closed:    make(chan struct{}),
 		met:       newTCPMetrics(rank, size, streams),
 	}
@@ -489,14 +624,96 @@ func newTCPEndpoint(rank, size, streams int, cfg tcpConfig) *tcpEndpoint {
 		w.met = ep.met
 		w.rec = cfg.trace
 		w.lane = traceLane(rank, i%streams)
+		w.trackIdle = cfg.heartbeat > 0
+		w.writeTimeout = cfg.writeTimeout()
 		ep.out[i] = w
 		ep.inbox[i] = make(chan []byte, cfg.inboxDepth)
+	}
+	for r := range ep.peerDown {
+		ep.peerDown[r] = make(chan struct{})
 	}
 	return ep
 }
 
 func (e *tcpEndpoint) setOut(to, stream int, conn net.Conn) {
 	e.out[to*e.streams+stream].attach(conn)
+}
+
+// markPeerDown records that peer `from` can no longer communicate with this
+// endpoint and wakes every Recv blocked on it. Idempotent per peer.
+func (e *tcpEndpoint) markPeerDown(from int, cause error) {
+	e.downOnce[from].Do(func() {
+		e.downErr[from] = cause
+		close(e.peerDown[from])
+		mPeerFailures.Inc()
+	})
+}
+
+// startHeartbeat launches the idle keep-alive ticker when WithHeartbeat is
+// configured. Called once mesh establishment succeeded (sockets attached).
+func (e *tcpEndpoint) startHeartbeat() {
+	hb := e.cfg.heartbeat
+	if hb <= 0 {
+		return
+	}
+	e.bgWG.Add(1)
+	go func() {
+		defer e.bgWG.Done()
+		ticker := time.NewTicker(hb)
+		defer ticker.Stop()
+		var body [8]byte
+		for {
+			select {
+			case <-e.closed:
+				return
+			case <-ticker.C:
+			}
+			cutoff := time.Now().Add(-hb).UnixNano()
+			for to := 0; to < e.size; to++ {
+				if to == e.rank {
+					continue
+				}
+				for s := 0; s < e.streams; s++ {
+					w := e.out[to*e.streams+s]
+					if w.lastEnq.Load() > cutoff {
+						continue // the link carried a frame recently: it is alive
+					}
+					binary.BigEndian.PutUint64(body[:], uint64(time.Now().UnixNano()))
+					if w.sendCtrl(heartbeatMarker, body[:]) == nil {
+						mHeartbeatsSent.Inc()
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Abort implements Aborter: it ships an abort control frame on the directed
+// (to, stream) socket so the peer's reader poisons that lane with a
+// *PeerFailedError naming `origin`. The send is asynchronous — the unwinding
+// rank must not block behind a wedged socket — and bounded by the endpoint's
+// lifetime (Close unblocks it).
+func (e *tcpEndpoint) Abort(to, stream, origin int) error {
+	if err := checkRank(to, e.size); err != nil {
+		return err
+	}
+	if err := checkStream(stream, e.streams); err != nil {
+		return err
+	}
+	if to == e.rank || origin < 0 {
+		return nil
+	}
+	w := e.out[to*e.streams+stream]
+	e.bgWG.Add(1)
+	go func() {
+		defer e.bgWG.Done()
+		var body [4]byte
+		binary.BigEndian.PutUint32(body[:], uint32(origin))
+		if w.sendCtrl(abortMarker, body[:]) == nil {
+			mAbortsSent.Inc()
+		}
+	}()
+	return nil
 }
 
 // acceptAll accepts `expect` connections, reads each handshake header and
@@ -546,7 +763,8 @@ func (e *tcpEndpoint) acceptAll(l net.Listener, expect int) error {
 // inbox hand-off. The bufio layer batches small frames into one read syscall
 // while payloads larger than its buffer are read directly into pooled memory.
 // On exit the reason is recorded and the inbox closed, so Recv reports the
-// dead stream once the buffered frames are drained.
+// dead stream once the buffered frames are drained; a death that is not local
+// teardown and not a lane-scoped abort additionally marks the whole peer down.
 func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 	defer e.readerWG.Done()
 	defer func() { _ = conn.Close() }()
@@ -563,7 +781,21 @@ func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 	}()
 
 	idx := from*e.streams + stream
-	e.readerErr[idx] = e.readFrames(conn, e.inbox[idx], idx, stream)
+	err := e.readFrames(conn, e.inbox[idx], idx, stream)
+	e.readerErr[idx] = err
+	if err != nil && !errors.Is(err, ErrClosed) {
+		select {
+		case <-e.closed:
+			// Local teardown closed the socket under the reader: not a peer
+			// failure.
+		default:
+			if !errors.Is(err, ErrAborted) {
+				// An abort poisons only this lane; anything else (EOF, reset,
+				// liveness) means the peer connection itself is gone.
+				e.markPeerDown(from, err)
+			}
+		}
+	}
 	close(e.inbox[idx])
 }
 
@@ -571,24 +803,54 @@ func (e *tcpEndpoint) readLoop(conn net.Conn, from, stream int) {
 // stream ended. Pooled payloads that never reach the inbox go back to the
 // pool. Each decoded frame bumps the per-(peer, stream) receive counters and,
 // when the transport is traced, records a "tcp recv" span covering the
-// payload read.
+// payload read. Control frames (heartbeats, aborts) are consumed here and
+// never surface through Recv.
 func (e *tcpEndpoint) readFrames(conn net.Conn, inbox chan []byte, idx, stream int) error {
 	br := bufio.NewReaderSize(conn, e.cfg.readBufSize)
 	rec := e.cfg.trace
 	lane := traceLane(e.rank, stream)
+	liveness := e.cfg.livenessWindow()
 	var lenBuf [4]byte
+	var ctrlBuf [8]byte
 	for {
+		if liveness > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(liveness))
+		}
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("no frame for %v: %w", liveness, ErrLiveness)
+			}
 			return err // io.EOF or a closed socket: normal teardown
 		}
 		size := binary.BigEndian.Uint32(lenBuf[:])
-		if size > maxFrameBytes {
+		switch {
+		case size == heartbeatMarker:
+			if _, err := io.ReadFull(br, ctrlBuf[:8]); err != nil {
+				return fmt.Errorf("read heartbeat: %w", err)
+			}
+			sent := int64(binary.BigEndian.Uint64(ctrlBuf[:8]))
+			if delay := time.Now().UnixNano() - sent; delay > 0 {
+				mHeartbeatDelayNs.Observe(delay)
+			}
+			mHeartbeatsRecv.Inc()
+			continue
+		case size == abortMarker:
+			if _, err := io.ReadFull(br, ctrlBuf[:4]); err != nil {
+				return fmt.Errorf("read abort: %w", err)
+			}
+			origin := int(binary.BigEndian.Uint32(ctrlBuf[:4]))
+			mAbortsRecv.Inc()
+			return &PeerFailedError{Rank: origin, Cause: ErrAborted}
+		case size > maxFrameBytes:
 			return fmt.Errorf("%w: length header claims %d bytes", ErrFrameTooLarge, size)
 		}
 		span := rec.Begin("tcp recv", "wire", lane)
 		payload := bufpool.Get(int(size))
 		if _, err := io.ReadFull(br, payload); err != nil {
 			bufpool.Put(payload)
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return fmt.Errorf("mid-frame stall beyond %v: %w", liveness, ErrLiveness)
+			}
 			return fmt.Errorf("read payload: %w", err)
 		}
 		if rec != nil {
@@ -637,9 +899,28 @@ func (e *tcpEndpoint) Send(to, stream int, data []byte) error {
 	}
 	if err := e.out[idx].send(data); err != nil {
 		if errors.Is(err, ErrClosed) {
+			select {
+			case <-e.closed:
+				return ErrClosed
+			default:
+			}
+			select {
+			case <-e.peerDown[to]:
+				return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream,
+					&PeerFailedError{Rank: to, Cause: e.downErr[to]})
+			default:
+			}
 			return ErrClosed
 		}
-		return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream, err)
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return fmt.Errorf("send %d->%d stream %d: %w: %v", e.rank, to, stream, ErrTimeout, err)
+		}
+		// Any other write error means the socket to `to` is dead (reset,
+		// broken pipe): classify it as that peer's failure and fan it out so
+		// the endpoint's other lanes toward the peer fail fast too.
+		e.markPeerDown(to, err)
+		return fmt.Errorf("send %d->%d stream %d: %w", e.rank, to, stream,
+			&PeerFailedError{Rank: to, Cause: err})
 	}
 	if !t0.IsZero() {
 		e.met.sendNs.ObserveSince(t0)
@@ -656,31 +937,83 @@ func (e *tcpEndpoint) Recv(from, stream int) ([]byte, error) {
 	if err := checkStream(stream, e.streams); err != nil {
 		return nil, err
 	}
-	inbox := e.inbox[from*e.streams+stream]
+	idx := from*e.streams + stream
+	inbox := e.inbox[idx]
 	e.met.inboxOcc.Observe(int64(len(inbox)))
+	// Fast path: a prefetched frame is already decoded (or the stream already
+	// ended) — no timers.
+	select {
+	case data, ok := <-inbox:
+		return e.delivered(data, ok, from, stream, idx)
+	default:
+	}
 	var t0 time.Time
 	if metrics.Enabled() {
 		t0 = time.Now()
 	}
+	var deadline <-chan time.Time
+	if e.cfg.opTimeout > 0 {
+		timer := time.NewTimer(e.cfg.opTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		select {
+		case <-e.closed:
+			return nil, ErrClosed
+		case data, ok := <-inbox:
+			if ok && !t0.IsZero() {
+				e.met.recvWaitNs.ObserveSince(t0)
+			}
+			return e.delivered(data, ok, from, stream, idx)
+		case <-e.peerDown[from]:
+			// Frames decoded before the connection died are still valid.
+			select {
+			case data, ok := <-inbox:
+				return e.delivered(data, ok, from, stream, idx)
+			default:
+			}
+			select {
+			case <-e.closed:
+				return nil, ErrClosed
+			default:
+			}
+			return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream,
+				&PeerFailedError{Rank: from, Cause: e.downErr[from]})
+		case <-deadline:
+			return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, ErrTimeout)
+		}
+	}
+}
+
+// delivered classifies one inbox receive: a frame, or — when the inbox is
+// closed — the reason the stream ended, translated into the failure taxonomy.
+func (e *tcpEndpoint) delivered(data []byte, ok bool, from, stream, idx int) ([]byte, error) {
+	if ok {
+		return data, nil
+	}
+	// The reader for this stream exited; readerErr is safely published by the
+	// inbox close.
+	err := e.readerErr[idx]
+	if errors.Is(err, ErrFrameTooLarge) {
+		// A protocol violation is worth naming — it means a peer sent garbage,
+		// not that anyone called Close.
+		return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, err)
+	}
 	select {
 	case <-e.closed:
 		return nil, ErrClosed
-	case data, ok := <-inbox:
-		if !ok {
-			// The reader for this stream exited. A protocol violation (e.g.
-			// an oversized length header) is worth naming — it means a peer
-			// sent garbage, not that anyone called Close; every other exit is
-			// connection teardown and reads as ErrClosed.
-			if err := e.readerErr[from*e.streams+stream]; errors.Is(err, ErrFrameTooLarge) {
-				return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, err)
-			}
-			return nil, ErrClosed
-		}
-		if !t0.IsZero() {
-			e.met.recvWaitNs.ObserveSince(t0)
-		}
-		return data, nil
+	default:
 	}
+	if err == nil || errors.Is(err, ErrClosed) {
+		return nil, ErrClosed
+	}
+	if errors.Is(err, ErrPeerFailed) {
+		// Lane poisoned by an abort frame: surface the recorded origin.
+		return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream, err)
+	}
+	return nil, fmt.Errorf("recv %d<-%d stream %d: %w", e.rank, from, stream,
+		&PeerFailedError{Rank: from, Cause: err})
 }
 
 func (e *tcpEndpoint) Close() error {
@@ -691,5 +1024,27 @@ func (e *tcpEndpoint) Close() error {
 		}
 	})
 	e.readerWG.Wait()
+	e.bgWG.Wait()
+	// All readers have exited and closed their inboxes: recycle undelivered
+	// frames so teardown leaves the shared wire pool balanced. (Self lanes
+	// never had a reader and stay open-and-empty; the non-blocking drain
+	// skips them.)
+	e.drainOnce.Do(func() {
+		for _, ch := range e.inbox {
+			for {
+				select {
+				case b, ok := <-ch:
+					if !ok {
+						// Closed and empty.
+					} else {
+						bufpool.Put(b)
+						continue
+					}
+				default:
+				}
+				break
+			}
+		}
+	})
 	return nil
 }

@@ -134,6 +134,7 @@ func NewTCPWorker(rank, streams int, addrs []string, opts ...WorkerOption) (Endp
 		_ = ep.Close()
 		return nil, firstErr
 	}
+	ep.startHeartbeat()
 	return ep, nil
 }
 
@@ -192,15 +193,30 @@ func listenRetry(addr string, attempts int, delay time.Duration) (net.Listener, 
 	return nil, lastErr
 }
 
+// dialRetry dials addr until the deadline, backing off exponentially from
+// `delay` (doubling per attempt, capped at 1s) so a mesh waiting on a slow
+// peer doesn't hammer its listen queue. Transient refusals while the peer
+// boots — or while it restarts after a crash, the elastic-recovery path — are
+// absorbed here; only the deadline makes the failure permanent.
 func dialRetry(addr string, deadline time.Time, delay time.Duration) (net.Conn, error) {
+	const maxBackoff = time.Second
 	var lastErr error
-	for time.Now().Before(deadline) {
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		if attempt > 0 {
+			mRedials.Inc()
+		}
 		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
+		if remaining := time.Until(deadline); delay > remaining {
+			delay = remaining
+		}
 		time.Sleep(delay)
+		if delay *= 2; delay > maxBackoff {
+			delay = maxBackoff
+		}
 	}
 	if lastErr == nil {
 		lastErr = errors.New("deadline before first attempt")
