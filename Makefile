@@ -3,13 +3,13 @@
 # `make ci` is the check gate for changes touching the hot path: it runs the
 # tier-1 verify (build + full test suite), vet, the race detector over the
 # packages that exercise the transport ownership contract, a smoke run of
-# the live/codec/TCP microbenchmarks (1 iteration — catches benchmark bit-rot,
+# the live/codec/TCP/shm microbenchmarks (1 iteration — catches benchmark bit-rot,
 # not performance), and the metrics-overhead gate (alloc-free increments plus
 # the <2% instrumentation bound on the live all-reduce).
 
 GO ?= go
 
-.PHONY: ci build test vet race chaos bench-smoke metrics-overhead bench bench-tcp bench-seg
+.PHONY: ci build test vet race chaos bench-smoke metrics-overhead bench bench-tcp bench-seg bench-shm
 
 ci: vet build test race chaos bench-smoke metrics-overhead
 
@@ -22,6 +22,9 @@ test:
 vet:
 	$(GO) vet ./...
 
+# ./transport/... is recursive: it covers the shared-memory rings
+# (transport/shmnet), the two-tier composition and the cross-transport
+# conformance suite alongside the mem and TCP transports.
 race:
 	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... ./internal/sendpool/... ./internal/gradsync/... ./baseline/... ./fault/... .
 
@@ -34,7 +37,7 @@ chaos:
 	$(GO) test -race -count=1 -short -run 'TestChaosSoak|TestAbort' ./collective/ ./transport/chaos/
 
 bench-smoke:
-	$(GO) test -run XXX -bench 'Live|Codec|TCP' -benchtime 1x .
+	$(GO) test -run XXX -bench 'Live|Codec|TCP|Shm|Transport' -benchtime 1x .
 
 # Observability cost gates (DESIGN.md §7, §8): the metric increment path must
 # be allocation-free, full-stack instrumentation must cost <2% on the live
@@ -57,3 +60,12 @@ bench-tcp:
 # arms over real TCP with the fp16 codec (the BENCH_pr4.json numbers).
 bench-seg:
 	$(GO) test -run XXX -bench 'BenchmarkRingAllReduceTCP/4ranks/.*elems/fp16' -benchtime 30x -count 3 .
+
+# Shared-memory vs TCP-loopback same-binary A/B (the BENCH_pr6.json numbers):
+# raw one-way throughput and round-trip latency per transport, the 4-rank ring
+# all-reduce over both data planes, and the aiacc-bench table variants of the
+# same experiments (shm-loopback, hierarchy two-level vs flat ring).
+bench-shm:
+	$(GO) test -run XXX -bench 'BenchmarkTransportLoopback|BenchmarkTransportPingPong|BenchmarkRingAllReduceShm|BenchmarkRingAllReduceTCP/4ranks/[0-9]+elems$$' -benchtime 100x -count 3 .
+	$(GO) run ./cmd/aiacc-bench -experiment shm-loopback -metrics=false
+	$(GO) run ./cmd/aiacc-bench -experiment hierarchy -metrics=false

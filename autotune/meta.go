@@ -24,6 +24,8 @@ var (
 		"Granularity of the current best configuration.")
 	mBestSegment = metrics.NewGauge("aiacc_autotune_best_segment_bytes",
 		"Ring wire-pipelining segment size of the current best configuration.")
+	mBestNodeGroup = metrics.NewGauge("aiacc_autotune_best_gpus_per_node",
+		"Hierarchy node-group size of the current best configuration (1 = flat).")
 )
 
 // armMetrics resolves the per-searcher instruments; names repeat across Meta
@@ -203,6 +205,7 @@ func (m *Meta) Tune(eval Evaluator, budget int) (Params, error) {
 			mBestStreams.Set(int64(prop.Params.Streams))
 			mBestGranularity.Set(prop.Params.GranularityBytes)
 			mBestSegment.Set(prop.Params.SegmentBytes)
+			mBestNodeGroup.Set(int64(prop.Params.GPUsPerNode))
 		}
 		m.searchers[t].Observe(prop, cost)
 		m.window = append(m.window, windowEntry{searcher: t, newBest: newBest})

@@ -1,7 +1,8 @@
 // Package autotune finds the gradient-communication hyper-parameters of
 // AIACC-Training at runtime (§VI): the number of concurrent communication
-// streams, the all-reduce unit granularity, the all-reduce algorithm and the
-// ring wire-pipelining segment size.
+// streams, the all-reduce unit granularity, the all-reduce algorithm, the
+// ring wire-pipelining segment size and the hierarchy topology (GPUs per
+// node group).
 //
 // The search problem is formulated as a multi-armed bandit over an ensemble
 // of search techniques — grid search, population based training, Bayesian
@@ -41,12 +42,16 @@ type Params struct {
 	// SegmentBytes is the ring wire-pipelining segment size (fp32 data bytes
 	// per wire frame).
 	SegmentBytes int64
+	// GPUsPerNode is the hierarchy topology for AlgoTree: ranks per node
+	// group of the two-level schedule. 1 means flat (every rank its own
+	// node — the tree degenerates to the ring); ignored by AlgoRing.
+	GPUsPerNode int
 }
 
 // String implements fmt.Stringer.
 func (p Params) String() string {
-	return fmt.Sprintf("{streams=%d granularity=%dKiB algo=%s segment=%dKiB}",
-		p.Streams, p.GranularityBytes>>10, p.Algorithm, p.SegmentBytes>>10)
+	return fmt.Sprintf("{streams=%d granularity=%dKiB algo=%s segment=%dKiB perNode=%d}",
+		p.Streams, p.GranularityBytes>>10, p.Algorithm, p.SegmentBytes>>10, p.GPUsPerNode)
 }
 
 // Space is the discrete search space.
@@ -60,39 +65,47 @@ type Space struct {
 	// Segments lists candidate ring pipelining segment sizes in bytes,
 	// ascending.
 	Segments []int64
+	// NodeGroups lists candidate GPUsPerNode values for the hierarchical
+	// algorithm, ascending. Values that do not divide the world size are
+	// sanitized by the evaluator, not the space.
+	NodeGroups []int
 }
 
 // DefaultSpace returns the space AIACC-Training searches in production:
 // 2-24 streams (§VIII-D), 512 KiB - 64 MiB units, ring and tree all-reduce,
-// 64 KiB - 4 MiB wire segments.
+// 64 KiB - 4 MiB wire segments, and node groups of 1 (flat) to 8.
 func DefaultSpace() Space {
 	return Space{
 		Streams:       []int{1, 2, 4, 8, 12, 16, 24},
 		Granularities: []int64{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20, 64 << 20},
 		Algorithms:    []string{AlgoRing, AlgoTree},
 		Segments:      []int64{64 << 10, 128 << 10, 256 << 10, 1 << 20, 4 << 20},
+		NodeGroups:    []int{1, 2, 4, 8},
 	}
 }
 
 // Validate checks the space is non-empty in every dimension.
 func (s Space) Validate() error {
-	if len(s.Streams) == 0 || len(s.Granularities) == 0 || len(s.Algorithms) == 0 || len(s.Segments) == 0 {
-		return fmt.Errorf("%w: %d streams x %d granularities x %d algorithms x %d segments",
-			ErrBadSpace, len(s.Streams), len(s.Granularities), len(s.Algorithms), len(s.Segments))
+	if len(s.Streams) == 0 || len(s.Granularities) == 0 || len(s.Algorithms) == 0 ||
+		len(s.Segments) == 0 || len(s.NodeGroups) == 0 {
+		return fmt.Errorf("%w: %d streams x %d granularities x %d algorithms x %d segments x %d node groups",
+			ErrBadSpace, len(s.Streams), len(s.Granularities), len(s.Algorithms), len(s.Segments), len(s.NodeGroups))
 	}
 	return nil
 }
 
 // Size returns the number of points.
 func (s Space) Size() int {
-	return len(s.Streams) * len(s.Granularities) * len(s.Algorithms) * len(s.Segments)
+	return len(s.Streams) * len(s.Granularities) * len(s.Algorithms) * len(s.Segments) * len(s.NodeGroups)
 }
 
 // At returns point i in lexicographic (algorithm, streams, granularity,
-// segment) order; i is taken modulo Size.
+// segment, node group) order; i is taken modulo Size.
 func (s Space) At(i int) Params {
 	n := s.Size()
 	i = ((i % n) + n) % n
+	ng := i % len(s.NodeGroups)
+	i /= len(s.NodeGroups)
 	sg := i % len(s.Segments)
 	i /= len(s.Segments)
 	g := i % len(s.Granularities)
@@ -105,6 +118,7 @@ func (s Space) At(i int) Params {
 		GranularityBytes: s.Granularities[g],
 		Algorithm:        s.Algorithms[a],
 		SegmentBytes:     s.Segments[sg],
+		GPUsPerNode:      s.NodeGroups[ng],
 	}
 }
 
@@ -115,13 +129,14 @@ func (s Space) Index(p Params) int {
 	g := indexOfInt64(s.Granularities, p.GranularityBytes)
 	a := indexOfString(s.Algorithms, p.Algorithm)
 	sg := indexOfInt64(s.Segments, p.SegmentBytes)
-	if st < 0 || g < 0 || a < 0 || sg < 0 {
+	ng := indexOfInt(s.NodeGroups, p.GPUsPerNode)
+	if st < 0 || g < 0 || a < 0 || sg < 0 || ng < 0 {
 		return -1
 	}
-	return ((a*len(s.Streams)+st)*len(s.Granularities)+g)*len(s.Segments) + sg
+	return (((a*len(s.Streams)+st)*len(s.Granularities)+g)*len(s.Segments)+sg)*len(s.NodeGroups) + ng
 }
 
-// Neighbor returns p with one dimension moved by one step (dim in 0..3,
+// Neighbor returns p with one dimension moved by one step (dim in 0..4,
 // dir ±1), clamped to the space — the PBT explore move.
 func (s Space) Neighbor(p Params, dim, dir int) Params {
 	switch dim {
@@ -134,17 +149,20 @@ func (s Space) Neighbor(p Params, dim, dir int) Params {
 	case 2:
 		i := clamp(indexOfString(s.Algorithms, p.Algorithm)+dir, 0, len(s.Algorithms)-1)
 		p.Algorithm = s.Algorithms[i]
-	default:
+	case 3:
 		i := clamp(indexOfInt64(s.Segments, p.SegmentBytes)+dir, 0, len(s.Segments)-1)
 		p.SegmentBytes = s.Segments[i]
+	default:
+		i := clamp(indexOfInt(s.NodeGroups, p.GPUsPerNode)+dir, 0, len(s.NodeGroups)-1)
+		p.GPUsPerNode = s.NodeGroups[i]
 	}
 	return p
 }
 
-// Normalize maps p to [0,1]^4 for the Bayesian optimizer's kernel: log-scale
+// Normalize maps p to [0,1]^5 for the Bayesian optimizer's kernel: log-scale
 // positions within each dimension.
-func (s Space) Normalize(p Params) [4]float64 {
-	var v [4]float64
+func (s Space) Normalize(p Params) [5]float64 {
+	var v [5]float64
 	if len(s.Streams) > 1 {
 		v[0] = logPos(float64(p.Streams), float64(s.Streams[0]), float64(s.Streams[len(s.Streams)-1]))
 	}
@@ -156,6 +174,9 @@ func (s Space) Normalize(p Params) [4]float64 {
 	}
 	if len(s.Segments) > 1 {
 		v[3] = logPos(float64(p.SegmentBytes), float64(s.Segments[0]), float64(s.Segments[len(s.Segments)-1]))
+	}
+	if len(s.NodeGroups) > 1 {
+		v[4] = logPos(float64(p.GPUsPerNode), float64(s.NodeGroups[0]), float64(s.NodeGroups[len(s.NodeGroups)-1]))
 	}
 	return v
 }

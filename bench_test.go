@@ -16,11 +16,13 @@ import (
 	"aiacc/compress"
 	"aiacc/engine"
 	"aiacc/internal/bench"
+	"aiacc/internal/bufpool"
 	"aiacc/model"
 	"aiacc/mpi"
 	"aiacc/netmodel"
 	"aiacc/tensor"
 	"aiacc/transport"
+	"aiacc/transport/shmnet"
 )
 
 // simConfig builds a deployment on the paper's platform.
@@ -359,6 +361,140 @@ func BenchmarkRingAllReduceTCP(b *testing.B) {
 				}
 				benchRingAllReduceCodec(b, net, elems, compress.FP16{}, tensor.OpMax,
 					collective.WithSegmentBytes(arm.bytes))
+			})
+		}
+	}
+}
+
+// BenchmarkRingAllReduceShm is BenchmarkRingAllReduceTCP with the shared-
+// memory transport in place of loopback sockets: same 4-rank ring, same
+// element counts, so the two benchmarks form a same-binary A/B of the
+// intra-host data plane (mmap'd rings vs sockets) under the collective's
+// real traffic pattern.
+func BenchmarkRingAllReduceShm(b *testing.B) {
+	for _, elems := range []int{1 << 14, 1 << 16, 1 << 18} {
+		b.Run(fmt.Sprintf("4ranks/%delems", elems), func(b *testing.B) {
+			net, err := shmnet.New(4, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = net.Close() }()
+			benchRingAllReduce(b, net, elems)
+		})
+	}
+}
+
+// BenchmarkTransportLoopback streams frames one way between two ranks —
+// the raw point-to-point throughput of each intra-host transport. The shm
+// arm is one memcpy into an mmap'd ring per side; the tcp arm pays framing
+// syscalls and socket buffer copies on the same loopback path.
+func BenchmarkTransportLoopback(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		mk   func() (transport.Network, error)
+	}{
+		{"shm", func() (transport.Network, error) {
+			return shmnet.New(2, 1, shmnet.WithRingBytes(1<<20))
+		}},
+		{"tcp", func() (transport.Network, error) { return transport.NewTCP(2, 1) }},
+	} {
+		for _, size := range []int{4 << 10, 64 << 10, 1 << 20, 4 << 20} {
+			b.Run(fmt.Sprintf("%s/bytes=%d", arm.name, size), func(b *testing.B) {
+				net, err := arm.mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				src, err := net.Endpoint(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dst, err := net.Endpoint(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; i < b.N; i++ {
+						got, err := dst.Recv(0, 0)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						bufpool.Put(got)
+					}
+				}()
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := src.Send(1, 0, bufpool.Get(size)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				<-done
+			})
+		}
+	}
+}
+
+// BenchmarkTransportPingPong measures round-trip latency: rank 0 sends a
+// frame, rank 1 echoes it back. This is the number that gates collective
+// phase launches (every ring hop is a dependent send→recv), and where the
+// shared-memory transport's syscall-free path shows the largest gap.
+func BenchmarkTransportPingPong(b *testing.B) {
+	for _, arm := range []struct {
+		name string
+		mk   func() (transport.Network, error)
+	}{
+		{"shm", func() (transport.Network, error) { return shmnet.New(2, 1) }},
+		{"tcp", func() (transport.Network, error) { return transport.NewTCP(2, 1) }},
+	} {
+		for _, size := range []int{256, 4 << 10, 64 << 10} {
+			b.Run(fmt.Sprintf("%s/bytes=%d", arm.name, size), func(b *testing.B) {
+				net, err := arm.mk()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = net.Close() }()
+				a, err := net.Endpoint(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				z, err := net.Endpoint(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; i < b.N; i++ {
+						got, err := z.Recv(0, 0)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := z.Send(0, 0, got); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := a.Send(1, 0, bufpool.Get(size)); err != nil {
+						b.Fatal(err)
+					}
+					got, err := a.Recv(1, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bufpool.Put(got)
+				}
+				<-done
 			})
 		}
 	}

@@ -290,6 +290,56 @@ func TestHierarchicalViable(t *testing.T) {
 	}
 }
 
+// On the same-machine two-tier topology (shm rings inside each simulated
+// host, loopback TCP between them) the two-level hierarchical schedule must
+// beat the flat pipelined ring for a communication-heavy model: most of the
+// flat ring's hops cross the slow loopback path, while the hierarchy moves
+// the intra share onto shm and puts strictly less volume on the TCP tier.
+func TestHierarchicalWinsOnTwoTierLoopback(t *testing.T) {
+	mk := func(algo Algorithm) Config {
+		cfg := Config{
+			Topology:      netmodel.TwoTierLoopback(2, 4),
+			GPU:           V100(),
+			Model:         model.VGG16(),
+			Engine:        EngineDefaults(AIACC),
+			Decentralized: true,
+		}
+		cfg.Engine.Algorithm = algo
+		return cfg
+	}
+	ring := simOrFatal(t, mk(Ring))
+	hier := simOrFatal(t, mk(Hierarchical))
+	if hier.IterTime >= ring.IterTime {
+		t.Errorf("two-level %v not faster than flat ring %v on 2-host x 4-rank loopback",
+			hier.IterTime, ring.IterTime)
+	}
+}
+
+// In the latency-dominated regime — tiny units, so per-phase fixed costs
+// dwarf bandwidth — the flat ring must win: the hierarchy pays two extra
+// phase launches and its pipeline cannot fill. This is the "when" the
+// autotuner's topology dimension discriminates.
+func TestFlatRingWinsLatencyDominated(t *testing.T) {
+	mk := func(algo Algorithm) Config {
+		cfg := Config{
+			Topology:      netmodel.TwoTierLoopback(2, 4),
+			GPU:           V100(),
+			Model:         model.TinyMLP(),
+			Engine:        EngineDefaults(AIACC),
+			Decentralized: true,
+		}
+		cfg.Engine.Algorithm = algo
+		cfg.Engine.GranularityBytes = 4 << 10 // tiny units: all latency
+		return cfg
+	}
+	ring := simOrFatal(t, mk(Ring))
+	hier := simOrFatal(t, mk(Hierarchical))
+	if ring.IterTime >= hier.IterTime {
+		t.Errorf("flat ring %v not faster than two-level %v in latency-dominated regime",
+			ring.IterTime, hier.IterTime)
+	}
+}
+
 // RDMA: higher line rate, worse single-stream efficiency — AIACC's
 // multi-stream advantage over PyTorch-DDP grows (Fig. 15; GPT-2 9.8x).
 func TestRDMAAdvantage(t *testing.T) {

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"aiacc/internal/sim"
@@ -157,23 +156,23 @@ func (w *worker) unitTiming(bytes int64) (latency time.Duration, nicVolume int64
 	default:
 	}
 	if w.cfg.Engine.Algorithm == Hierarchical && nodes > 1 {
-		// Intra-node ring + leader ring across nodes + intra-node broadcast.
-		// The three phases pipeline imperfectly and the node leader funnels
-		// all cross-node traffic through its own memory system, costing
-		// ~12% extra on the NIC path — which is why the paper's auto-tuner
-		// settled on the flat ring in an uncongested cloud (§VIII-D).
-		intraRing := 2 * wireB * int64(g-1) / int64(g)
-		bcast := wireB
-		// The three phases of a naive hierarchical implementation do not
-		// chunk-pipeline with each other, so the intra traffic is charged
-		// serially (x3 phase turnarounds) plus two extra kernel launches.
-		serialSec := 3 * float64(intraRing+bcast) / top.Intra.BytesPerSecond(1)
-		bcastHops := int(math.Ceil(math.Log2(float64(g))))
-		latency = time.Duration(2*(g-1)+bcastHops)*w.hop(top.Intra) +
+		// Two-level schedule: intra-node reduce-scatter, per-member shard
+		// rings across nodes (every member drives its own cross-node ring —
+		// no leader funnel), intra-node all-gather. The g shard rings
+		// together put 2·B·(M-1)/M on each NIC, marginally less than the
+		// flat ring's 2·B·(n-1)/n, and move the remaining 2·B·(g-1)/g over
+		// the fast intra-node link instead of the NIC.
+		intraVol := 2 * wireB * int64(g-1) / int64(g)
+		intraSec := float64(intraVol) / top.Intra.BytesPerSecond(1)
+		// The data is split into two blocks pipelined against each other, so
+		// roughly half the intra traffic overlaps the cross-node rings; the
+		// other half (pipeline fill/drain) stays exposed, plus the two extra
+		// phase launches. This exposure is why the flat ring still wins in
+		// the latency-dominated small-unit regime.
+		latency = time.Duration(2*(g-1))*w.hop(top.Intra) +
 			time.Duration(2*(nodes-1))*w.hop(top.Inter)
-		serial = time.Duration(serialSec*float64(time.Second)) + 2*w.cal.UnitOverhead
+		serial = time.Duration(intraSec/2*float64(time.Second)) + 2*w.cal.UnitOverhead
 		nicVolume = 2 * wireB * int64(nodes-1) / int64(nodes)
-		nicVolume = nicVolume * 120 / 100
 		return latency, nicVolume, serial
 	}
 	// Flat ring across all n workers: the NIC boundary edge carries
@@ -192,7 +191,7 @@ func (w *worker) unitTiming(bytes int64) (latency time.Duration, nicVolume int64
 // Ring steps overlap, so the effective per-hop cost is far below a full
 // message round trip.
 func (w *worker) hop(l netmodel.Link) time.Duration {
-	if l.Kind == netmodel.NVLink || l.Kind == netmodel.PCIe {
+	if l.Kind == netmodel.NVLink || l.Kind == netmodel.PCIe || l.Kind == netmodel.SHM {
 		return w.cal.IntraHopLatency
 	}
 	return w.cal.RingHopLatency

@@ -56,7 +56,7 @@ func run() error {
 		cfg.Engine.Streams = p.Streams
 		cfg.Engine.GranularityBytes = p.GranularityBytes
 		cfg.Engine.SegmentBytes = p.SegmentBytes
-		if p.Algorithm == autotune.AlgoTree {
+		if p.Algorithm == autotune.AlgoTree && p.GPUsPerNode != 1 {
 			cfg.Engine.Algorithm = cluster.Hierarchical
 		}
 		return cfg

@@ -68,6 +68,8 @@ func run() error {
 		{id: "live", run: s.Live},
 		{id: "live-bandwidth", run: s.LiveBandwidth},
 		{id: "segsweep", run: s.SegSweep},
+		{id: "shm-loopback", run: s.ShmLoopback},
+		{id: "hierarchy", run: s.Hierarchy},
 	}
 
 	if *list {

@@ -9,7 +9,8 @@
 //
 //	aiacc-run -workers 4 -model tinymlp -steps 50
 //	aiacc-run -workers 2 -model resnet50 -transport tcp -streams 8 -fp16
-//	aiacc-run -workers 3 -multiproc           # real OS processes over TCP
+//	aiacc-run -workers 3 -multiproc                 # real OS processes over TCP
+//	aiacc-run -workers 4 -multiproc -transport shm  # processes over shared memory
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +36,7 @@ import (
 	"aiacc/trace"
 	"aiacc/train"
 	"aiacc/transport"
+	"aiacc/transport/shmnet"
 )
 
 // liveSpace is the parameter space searched by -autotune: kept small so the
@@ -44,6 +47,7 @@ func liveSpace() autotune.Space {
 		Granularities: []int64{256 << 10, 1 << 20, 4 << 20},
 		Algorithms:    []string{autotune.AlgoRing, autotune.AlgoTree},
 		Segments:      []int64{64 << 10, 128 << 10, 512 << 10},
+		NodeGroups:    []int{1, 2, 4},
 	}
 }
 
@@ -63,7 +67,7 @@ func run() error {
 		streams     = flag.Int("streams", 4, "concurrent communication streams")
 		granularity = flag.Int64("granularity", 1<<20, "all-reduce unit size in bytes")
 		segBytes    = flag.Int64("segment-bytes", 0, "ring wire-pipelining segment size in bytes (0 = collective default)")
-		trans       = flag.String("transport", "mem", "transport: mem | tcp")
+		trans       = flag.String("transport", "mem", "transport: mem | tcp | shm (shared-memory rings; with -multiproc, true cross-process shared memory)")
 		opTimeout   = flag.Duration("op-timeout", 0, "bound every blocking transport send/recv; a stuck operation fails with a timeout instead of hanging (0 = unbounded)")
 		heartbeat   = flag.Duration("heartbeat", 0, "TCP liveness probe interval; a peer silent for 4 intervals is declared failed (0 = off)")
 		coordinator = flag.String("coordinator", "decentralized", "readiness coordinator: decentralized | master")
@@ -76,9 +80,10 @@ func run() error {
 		traceOut    = flag.String("trace", "", "write rank 0's engine+transport timeline to this file (chrome://tracing JSON)")
 		traceMax    = flag.Int("trace-max-events", 0, "cap the trace to the most recent N events (0 = unbounded)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. 127.0.0.1:9090); /metrics for text, /metrics/vars for JSON")
-		multiproc   = flag.Bool("multiproc", false, "run each worker as its own OS process over TCP")
+		multiproc   = flag.Bool("multiproc", false, "run each worker as its own OS process (TCP sockets or, with -transport shm, a shared-memory region)")
 		workerRank  = flag.Int("worker-rank", -1, "internal: this child process's rank")
 		workerAddrs = flag.String("worker-addrs", "", "internal: comma-separated rendezvous addresses")
+		shmFile     = flag.String("shm-file", "", "internal: shared-memory region path for -multiproc -transport shm")
 	)
 	flag.Parse()
 
@@ -127,7 +132,7 @@ func run() error {
 	}
 
 	if *multiproc && *workerRank < 0 {
-		return launchProcesses(*workers)
+		return launchProcesses(*workers, *trans)
 	}
 	m0, err := model.ByName(*modelName)
 	if err != nil {
@@ -144,10 +149,20 @@ func run() error {
 		tcpOpts = append(tcpOpts, transport.WithHeartbeat(*heartbeat))
 	}
 	if *workerRank >= 0 {
-		// Child process: join the TCP mesh and run one worker.
-		addrs := strings.Split(*workerAddrs, ",")
-		ep, err := transport.NewTCPWorker(*workerRank, cfg.RequiredStreams(), addrs,
-			transport.WithTCPOptions(tcpOpts...))
+		// Child process: join the shared-memory region or the TCP mesh and
+		// run one worker.
+		var ep transport.Endpoint
+		if *trans == "shm" {
+			var shmOpts []shmnet.Option
+			if *opTimeout > 0 {
+				shmOpts = append(shmOpts, shmnet.WithOpTimeout(*opTimeout))
+			}
+			ep, err = shmnet.Attach(*shmFile, *workerRank, *workers, cfg.RequiredStreams(), shmOpts...)
+		} else {
+			addrs := strings.Split(*workerAddrs, ",")
+			ep, err = transport.NewTCPWorker(*workerRank, cfg.RequiredStreams(), addrs,
+				transport.WithTCPOptions(tcpOpts...))
+		}
 		if err != nil {
 			return err
 		}
@@ -182,6 +197,12 @@ func run() error {
 		net, err = transport.NewMem(*workers, transportStreams, memOpts...)
 	case "tcp":
 		net, err = transport.NewTCP(*workers, transportStreams, tcpOpts...)
+	case "shm":
+		var shmOpts []shmnet.Option
+		if *opTimeout > 0 {
+			shmOpts = append(shmOpts, shmnet.WithOpTimeout(*opTimeout))
+		}
+		net, err = shmnet.New(*workers, transportStreams, shmOpts...)
 	default:
 		return fmt.Errorf("unknown transport %q", *trans)
 	}
@@ -356,18 +377,28 @@ func makeBatchGen(rank int) func(step int) ([][]float32, [][]float32) {
 }
 
 // launchProcesses spawns one child process per worker and waits for all.
-func launchProcesses(workers int) error {
+func launchProcesses(workers int, trans string) error {
 	self, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("locate executable: %w", err)
 	}
-	// Reserve the RequiredStreams value implied by the child flags: the
-	// children recompute it themselves; the parent only needs addresses.
-	addrs, err := transport.FreeAddrs(workers)
-	if err != nil {
-		return err
+	// Rendezvous: a shared-memory file for shm (first attacher initializes
+	// the region, the rest verify its geometry), TCP addresses otherwise.
+	// The children recompute RequiredStreams themselves; the parent only
+	// needs the meeting point.
+	var addrs []string
+	var shmPath string
+	if trans == "shm" {
+		shmPath = filepath.Join(os.TempDir(), fmt.Sprintf("aiacc-run-%d.shm", os.Getpid()))
+		defer func() { _ = os.Remove(shmPath) }()
+		fmt.Printf("spawning %d worker processes over shared memory (%s)\n", workers, shmPath)
+	} else {
+		addrs, err = transport.FreeAddrs(workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spawning %d worker processes over TCP (%s ...)\n", workers, addrs[0])
 	}
-	fmt.Printf("spawning %d worker processes over TCP (%s ...)\n", workers, addrs[0])
 	// Forward every user flag except the orchestration ones.
 	var passthrough []string
 	flag.Visit(func(f *flag.Flag) {
@@ -381,6 +412,7 @@ func launchProcesses(workers int) error {
 		args := append([]string{
 			"-worker-rank", fmt.Sprint(r),
 			"-worker-addrs", strings.Join(addrs, ","),
+			"-shm-file", shmPath,
 			"-workers", fmt.Sprint(workers),
 		}, passthrough...)
 		cmd := exec.Command(self, args...)

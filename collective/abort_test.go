@@ -14,6 +14,7 @@ import (
 	"aiacc/tensor"
 	"aiacc/transport"
 	"aiacc/transport/chaos"
+	"aiacc/transport/shmnet"
 )
 
 // runChaosRanks runs fn once per rank over a chaos-wrapped mem transport and
@@ -285,6 +286,29 @@ func TestChaosSoakMem(t *testing.T) {
 			plan := chaos.Randomized(seed, size, 1)
 			inner, err := transport.NewMem(size, 1,
 				transport.WithMemOpTimeout(time.Second), transport.WithBuffer(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := chaos.Wrap(inner, plan)
+			soakOnce(t, seed, size, net, plan)
+			_ = net.Close()
+			checkLeaks(t, base)
+		})
+	}
+}
+
+// TestChaosSoakShm repeats the sweep over the shared-memory transport: the
+// chaos decorator composes over shm rings exactly as over sockets, so kills
+// must surface through the region's rank-state fan-out, partitions through
+// receiver op deadlines, and corruptions through codec checksums. Reproduce
+// one seed with: go test -run 'TestChaosSoakShm/seed=K' ./collective/
+func TestChaosSoakShm(t *testing.T) {
+	const size = 4
+	for seed := int64(0); seed < soakSeeds(); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			base := leakcheck.Take()
+			plan := chaos.Randomized(seed, size, 1)
+			inner, err := shmnet.New(size, 1, shmnet.WithOpTimeout(time.Second))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -137,73 +137,48 @@ func ringAllReduceCodec(c *mpi.Comm, stream int, data []float32, op tensor.Reduc
 		return nil
 	}
 	o := buildOptions(opts)
-	rank := c.Rank()
 	defer obsOp(mRing, opStart())
-
-	// Segments are cut from fp32 chunks, so wire buffers and the decode
-	// scratch only need one segment's worth of capacity: chunkBounds never
-	// yields a segment larger than ceil(chunk/segs) ≤ segElems elements.
-	maxChunk := len(data)/n + 1
-	segElems := maxChunk
-	if s := int(o.segBytes / 4); s >= 1 && s < segElems {
-		segElems = s
-	}
-	p := ringPipeline{
-		c: c, stream: stream,
-		next: (rank + 1) % n, prev: (rank - 1 + n) % n,
-		codec: codec, segBytes: o.segBytes,
-		r:     beginSeg(int(codec.WireBytes(segElems))),
-		timed: segTimed(),
-	}
-	defer p.r.end()
-	mSegCount.Set(int64(numSegments(maxChunk, o.segBytes)))
-	fp := getF32(segElems)
+	var p ringPipeline
+	fp := p.init(c, stream, len(data), codec, o)
 	defer putF32(fp)
-	p.scratch = *fp
+	defer p.r.end()
+	if err := p.reduceScatter(data, op); err != nil {
+		return err
+	}
+	return p.allGather(data, !codecLossless(codec))
+}
 
-	// Reduce-scatter: after step s, this rank has accumulated s+2 ranks'
-	// contributions into chunk (rank-s-1+n)%n.
-	phase := opStart()
-	for step := 0; step < n-1; step++ {
-		sendIdx := (rank - step + n) % n
-		recvIdx := (rank - step - 1 + 2*n) % n
-		sLo, sHi := chunkBounds(len(data), n, sendIdx)
-		rLo, rHi := chunkBounds(len(data), n, recvIdx)
-		if err := p.reduceStep(data, sLo, sHi, rLo, rHi, op); err != nil {
-			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
-		}
+// ringReduceScatter runs just the reduce-scatter phase of the pipelined
+// ring as a standalone collective: rank r ends holding the full reduction
+// of chunk (r+1) mod n, with the rest of data left in an intermediate
+// state. It is the intra-host first phase of the two-level hierarchical
+// all-reduce.
+func ringReduceScatter(c *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	if c.Size() == 1 || len(data) == 0 {
+		return nil
 	}
-	obs(mPhaseRS, phase)
+	o := buildOptions(opts)
+	var p ringPipeline
+	fp := p.init(c, stream, len(data), codec, o)
+	defer putF32(fp)
+	defer p.r.end()
+	return p.reduceScatter(data, op)
+}
 
-	// All-gather: circulate the fully reduced chunks. With n > 2 ranks the
-	// payloads received on one step are the exact frames to forward on the
-	// next, so two slot sets alternate between "forward now" and "fill for
-	// the next step".
-	phase = opStart()
-	requant := !codecLossless(codec)
-	var slots, spare *[][]byte
-	if n > 2 {
-		maxSegs := numSegments(maxChunk, o.segBytes)
-		slots, spare = getSlots(maxSegs), getSlots(maxSegs)
-		defer putSlots(slots)
-		defer putSlots(spare)
+// ringChunkAllGather runs just the all-gather phase of the pipelined ring,
+// assuming the reduce-scatter postcondition (rank r owns a fully reduced
+// chunk (r+1) mod n). It is the intra-host last phase of the two-level
+// hierarchical all-reduce.
+func ringChunkAllGather(c *mpi.Comm, stream int, data []float32, codec compress.Codec, opts ...Option) error {
+	if c.Size() == 1 || len(data) == 0 {
+		return nil
 	}
-	for step := 0; step < n-1; step++ {
-		sendIdx := (rank - step + 1 + n) % n
-		recvIdx := (rank - step + 2*n) % n
-		sLo, sHi := chunkBounds(len(data), n, sendIdx)
-		rLo, rHi := chunkBounds(len(data), n, recvIdx)
-		var cur, nxt [][]byte
-		if slots != nil {
-			cur, nxt = *slots, *spare
-		}
-		if err := p.gatherStep(data, sLo, sHi, rLo, rHi, step > 0, step < n-2, requant, cur, nxt); err != nil {
-			return fmt.Errorf("ring all-gather step %d: %w", step, err)
-		}
-		slots, spare = spare, slots
-	}
-	obs(mPhaseAG, phase)
-	return nil
+	o := buildOptions(opts)
+	var p ringPipeline
+	fp := p.init(c, stream, len(data), codec, o)
+	defer putF32(fp)
+	defer p.r.end()
+	return p.allGather(data, !codecLossless(codec))
 }
 
 // RingAllReduceCodecReference is the serial pre-pipelining ring all-reduce:
@@ -457,19 +432,35 @@ func andAllReduceBits(c *mpi.Comm, stream int, bits []uint64) error {
 	return nil
 }
 
-// HierarchicalAllReduce is the paper's "tree all-reduce" (§V-B): a ring
-// all-reduce among the GPUs of each computing node, a ring all-reduce among
-// node leaders across the network, then an intra-node broadcast of the
-// result. It reduces cross-node traffic to 1/gpusPerNode of a flat ring and
-// is selected by the auto-tuner when inter-node links are congested.
+// HierarchicalAllReduce is the paper's "tree all-reduce" (§V-B), realized
+// as the Megatron-style two-level schedule: an intra-node reduce-scatter, a
+// concurrent per-shard ring all-reduce across nodes, and an intra-node
+// all-gather. It reduces cross-node traffic to 1/gpusPerNode of a flat ring
+// and is selected by the auto-tuner when inter-node links are congested.
 func HierarchicalAllReduce(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, opts ...Option) error {
 	return HierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, compress.FP32{}, opts...)
 }
 
 // HierarchicalAllReduceCodec is HierarchicalAllReduce with an explicit wire
 // codec applied to every phase. Options (segment pipelining) apply to both
-// ring phases — in particular the cross-node leader ring, where overlapping
+// levels — in particular the cross-node shard rings, where overlapping
 // codec work with the slower inter-node wire pays off most.
+//
+// The schedule is two-level: each node reduce-scatters over its (fast,
+// intra-host) lanes, leaving member j of every node with one fully reduced
+// shard; the j-th shards then ring-all-reduce across nodes — every node
+// member drives its own cross-node ring concurrently, instead of funneling
+// gpusPerNode× the traffic through a single leader — and an intra-node
+// all-gather distributes the result. The data is further split into two
+// blocks pipelined against each other, so one block's (intra) reduce-scatter
+// or all-gather overlaps the other block's (inter) cross-node ring: the two
+// levels use disjoint peer sets, hence disjoint transport lanes, and on a
+// two-tier network (transport.NewTwoTier) physically independent fabrics.
+//
+// Requires c's size to be an exact multiple of gpusPerNode (ranks laid out
+// node-major, as mpi.Comm's NodeGroup assumes). Results are bit-identical
+// across ranks, and — for exactly-representable sums — bit-identical to the
+// single-level reference.
 func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
 	// The phases unwind within their sub-communicators; the outer unwind over
 	// the full communicator is what carries a failure across phase boundaries
@@ -477,7 +468,120 @@ func HierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []flo
 	return Unwind(c, stream, hierarchicalAllReduceCodec(c, stream, gpusPerNode, data, op, codec, opts...))
 }
 
+// twoLevelPipelineMin is the smallest element count worth splitting into two
+// pipelined blocks; below it the extra phase launches cost more than the
+// intra/inter overlap recovers.
+const twoLevelPipelineMin = 4096
+
 func hierarchicalAllReduceCodec(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	if c.Size() == 1 || len(data) == 0 {
+		return nil
+	}
+	if gpusPerNode <= 0 {
+		return fmt.Errorf("%w: gpusPerNode %d", mpi.ErrBadGroup, gpusPerNode)
+	}
+	if c.Size()%gpusPerNode != 0 {
+		return fmt.Errorf("%w: size %d is not divisible by gpusPerNode %d: hierarchical all-reduce needs equally sized nodes",
+			mpi.ErrBadGroup, c.Size(), gpusPerNode)
+	}
+	defer obsOp(mHierarchical, opStart())
+	if gpusPerNode == 1 {
+		// Every rank is its own node: the cross-node level IS the flat ring.
+		return ringAllReduceCodec(c, stream, data, op, codec, opts...)
+	}
+	node, err := c.NodeGroup(gpusPerNode)
+	if err != nil {
+		return fmt.Errorf("hierarchical all-reduce node group: %w", err)
+	}
+	if node.Size() == c.Size() {
+		// Single node: the intra level is the whole reduction.
+		return ringAllReduceCodec(node, stream, data, op, codec, opts...)
+	}
+	cross, err := c.CrossNodeGroup(gpusPerNode)
+	if err != nil {
+		return fmt.Errorf("hierarchical all-reduce cross group: %w", err)
+	}
+	return twoLevelAllReduce(node, cross, stream, data, op, codec, opts)
+}
+
+// twoLevelAllReduce runs the pipelined two-level schedule over the node and
+// cross-node sub-communicators:
+//
+//	RS(b0); RS(b1) ∥ X(b0); AG(b0) ∥ X(b1); AG(b1)
+//
+// where RS/AG are intra-node reduce-scatter/all-gather over blocks b of the
+// data and X is the cross-node ring all-reduce of the block's owned shard.
+// Intra phases run on this goroutine, inter phases on one worker goroutine,
+// so each tier issues its lanes' frames in deterministic order (the FIFO
+// matching the transports require) while the two tiers overlap.
+func twoLevelAllReduce(node, cross *mpi.Comm, stream int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts []Option) error {
+	g := node.Size()
+	own := (node.Rank() + 1) % g // reduce-scatter postcondition: chunk this rank holds
+	blocks := 2
+	if len(data) < twoLevelPipelineMin {
+		blocks = 1
+	}
+
+	// The worker pulls shard jobs in block order; results come back in the
+	// same order on done. Channel capacities cover every block, so neither
+	// side ever blocks on the channels themselves.
+	reqs := make(chan []float32, blocks)
+	done := make(chan error, blocks)
+	go func() {
+		for shard := range reqs {
+			done <- RingAllReduceCodec(cross, stream, shard, op, codec, opts...)
+		}
+	}()
+	issued := 0
+	var firstErr error
+	for b := 0; b < blocks; b++ {
+		lo, hi := chunkBounds(len(data), blocks, b)
+		blk := data[lo:hi]
+		if err := ringReduceScatter(node, stream, blk, op, codec, opts...); err != nil {
+			firstErr = fmt.Errorf("hierarchical all-reduce intra reduce-scatter block %d: %w", b, err)
+			break
+		}
+		cLo, cHi := chunkBounds(len(blk), g, own)
+		reqs <- blk[cLo:cHi]
+		issued++
+	}
+	close(reqs)
+	// Collect each block's cross-node result in order, gathering block b
+	// while the worker reduces block b+1. On failure, every issued shard is
+	// still drained before returning: the worker goroutine must not outlive
+	// this call while holding slices of the caller's data. The drain cannot
+	// hang: RingAllReduceCodec already unwound the failing sub-communicator,
+	// and the outer Unwind of any failing rank poisons all its lanes, so
+	// in-flight shards resolve rather than block (op deadlines backstop).
+	for b := 0; b < issued; b++ {
+		if err := <-done; err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("hierarchical all-reduce inter shard block %d: %w", b, err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		lo, hi := chunkBounds(len(data), blocks, b)
+		if err := ringChunkAllGather(node, stream, data[lo:hi], codec, opts...); err != nil {
+			firstErr = fmt.Errorf("hierarchical all-reduce intra all-gather block %d: %w", b, err)
+		}
+	}
+	return firstErr
+}
+
+// HierarchicalAllReduceCodecReference is the serial three-phase hierarchy —
+// intra-node ring all-reduce, leader-only ring across nodes, intra-node
+// broadcast — retained as a correctness oracle for the two-level schedule
+// and as the same-binary baseline arm of the hierarchy benchmarks (it is
+// the leader-funnel design the two-level schedule exists to beat).
+// Production callers want HierarchicalAllReduceCodec.
+func HierarchicalAllReduceCodecReference(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
+	return Unwind(c, stream, hierarchicalAllReduceCodecReference(c, stream, gpusPerNode, data, op, codec, opts...))
+}
+
+func hierarchicalAllReduceCodecReference(c *mpi.Comm, stream, gpusPerNode int, data []float32, op tensor.ReduceOp, codec compress.Codec, opts ...Option) error {
 	if c.Size() == 1 || len(data) == 0 {
 		return nil
 	}

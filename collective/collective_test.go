@@ -1,8 +1,10 @@
 package collective
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -275,7 +277,8 @@ func TestHierarchicalAllReduce(t *testing.T) {
 	for _, tc := range []struct{ size, perNode int }{
 		{size: 8, perNode: 4},
 		{size: 8, perNode: 2},
-		{size: 6, perNode: 4}, // ragged last node
+		{size: 6, perNode: 3},
+		{size: 6, perNode: 1}, // every rank its own node: flat ring
 		{size: 4, perNode: 4}, // single node
 		{size: 1, perNode: 8},
 	} {
@@ -308,6 +311,56 @@ func TestHierarchicalAllReduceBadPerNode(t *testing.T) {
 		}
 		return nil
 	})
+	// Ragged nodes (size not divisible by gpusPerNode) are rejected with a
+	// descriptive ErrBadGroup rather than silently producing a lopsided
+	// schedule.
+	runRanks(t, 6, 1, func(c *mpi.Comm) error {
+		err := HierarchicalAllReduce(c, 0, 4, []float32{1}, tensor.OpSum)
+		if !errors.Is(err, mpi.ErrBadGroup) {
+			t.Errorf("size 6 perNode 4: err = %v, want ErrBadGroup", err)
+		}
+		if err != nil && !strings.Contains(err.Error(), "not divisible") {
+			t.Errorf("error %q should explain the divisibility requirement", err)
+		}
+		return nil
+	})
+}
+
+// TestHierarchicalMatchesReference checks the two-level schedule is
+// bit-identical to the serial three-phase reference for data whose sums are
+// exactly representable (small integers): both orders of fp32 summation are
+// then exact, so any mismatch is a scheduling bug, not rounding.
+func TestHierarchicalMatchesReference(t *testing.T) {
+	const size, perNode, n = 8, 4, 5000
+	type result struct {
+		twoLevel, ref []float32
+	}
+	results := make([]result, size)
+	runRanks(t, size, 1, func(c *mpi.Comm) error {
+		mk := func() []float32 {
+			data := make([]float32, n)
+			for i := range data {
+				data[i] = float32((c.Rank()+i)%17 - 8)
+			}
+			return data
+		}
+		a, b := mk(), mk()
+		if err := HierarchicalAllReduce(c, 0, perNode, a, tensor.OpSum); err != nil {
+			return err
+		}
+		if err := HierarchicalAllReduceCodecReference(c, 0, perNode, b, tensor.OpSum, compress.FP32{}); err != nil {
+			return err
+		}
+		results[c.Rank()] = result{twoLevel: a, ref: b}
+		return nil
+	})
+	for r, res := range results {
+		for i := range res.twoLevel {
+			if res.twoLevel[i] != res.ref[i] {
+				t.Fatalf("rank %d elem %d: two-level %v != reference %v", r, i, res.twoLevel[i], res.ref[i])
+			}
+		}
+	}
 }
 
 // Concurrent all-reduce operations on distinct streams must not interfere —

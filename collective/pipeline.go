@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"fmt"
 	"sync"
 
 	"aiacc/compress"
@@ -172,9 +173,92 @@ type ringPipeline struct {
 	next, prev int
 	codec      compress.Codec
 	segBytes   int64
+	maxChunk   int // largest per-rank chunk, for slot sizing
 	r          segRing
 	scratch    []float32 // one segment of decode scratch
 	timed      bool      // metrics enabled at op start
+}
+
+// init fills in the per-operation pipeline state for an all-reduce-shaped
+// collective over dataLen elements. It is a method rather than a
+// constructor so the pipeline stays a stack value on the hot path; the
+// caller owns the returned scratch box (putF32) and the send ring (p.r.end).
+func (p *ringPipeline) init(c *mpi.Comm, stream, dataLen int, codec compress.Codec, o options) *[]float32 {
+	n := c.Size()
+	rank := c.Rank()
+	// Segments are cut from fp32 chunks, so wire buffers and the decode
+	// scratch only need one segment's worth of capacity: chunkBounds never
+	// yields a segment larger than ceil(chunk/segs) ≤ segElems elements.
+	maxChunk := dataLen/n + 1
+	segElems := maxChunk
+	if s := int(o.segBytes / 4); s >= 1 && s < segElems {
+		segElems = s
+	}
+	p.c, p.stream = c, stream
+	p.next, p.prev = (rank+1)%n, (rank-1+n)%n
+	p.codec, p.segBytes, p.maxChunk = codec, o.segBytes, maxChunk
+	p.r = beginSeg(int(codec.WireBytes(segElems)))
+	p.timed = segTimed()
+	mSegCount.Set(int64(numSegments(maxChunk, o.segBytes)))
+	fp := getF32(segElems)
+	p.scratch = *fp
+	return fp
+}
+
+// reduceScatter runs the n-1 reduce-scatter ring steps over data. Its
+// postcondition is the phase contract the all-gather (and the two-level
+// hierarchical schedule's inter phase) builds on: rank r ends holding the
+// full reduction of chunk (r+1) mod n.
+func (p *ringPipeline) reduceScatter(data []float32, op tensor.ReduceOp) error {
+	n := p.c.Size()
+	rank := p.c.Rank()
+	phase := opStart()
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + n) % n
+		recvIdx := (rank - step - 1 + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+		if err := p.reduceStep(data, sLo, sHi, rLo, rHi, op); err != nil {
+			return fmt.Errorf("ring all-reduce step %d: %w", step, err)
+		}
+	}
+	obs(mPhaseRS, phase)
+	return nil
+}
+
+// allGather circulates the fully reduced chunks, assuming the reduceScatter
+// postcondition (rank r owns chunk (r+1) mod n). With n > 2 ranks the
+// payloads received on one step are the exact frames to forward on the
+// next, so two slot sets alternate between "forward now" and "fill for the
+// next step". requant folds a lossy codec's quantization into the origin
+// rank's local copy so all ranks finish bit-identical.
+func (p *ringPipeline) allGather(data []float32, requant bool) error {
+	n := p.c.Size()
+	rank := p.c.Rank()
+	phase := opStart()
+	var slots, spare *[][]byte
+	if n > 2 {
+		maxSegs := numSegments(p.maxChunk, p.segBytes)
+		slots, spare = getSlots(maxSegs), getSlots(maxSegs)
+		defer putSlots(slots)
+		defer putSlots(spare)
+	}
+	for step := 0; step < n-1; step++ {
+		sendIdx := (rank - step + 1 + n) % n
+		recvIdx := (rank - step + 2*n) % n
+		sLo, sHi := chunkBounds(len(data), n, sendIdx)
+		rLo, rHi := chunkBounds(len(data), n, recvIdx)
+		var cur, nxt [][]byte
+		if slots != nil {
+			cur, nxt = *slots, *spare
+		}
+		if err := p.gatherStep(data, sLo, sHi, rLo, rHi, step > 0, step < n-2, requant, cur, nxt); err != nil {
+			return fmt.Errorf("ring all-gather step %d: %w", step, err)
+		}
+		slots, spare = spare, slots
+	}
+	obs(mPhaseAG, phase)
+	return nil
 }
 
 // recv blocks for the next payload from the upstream neighbour, charging the

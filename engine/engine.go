@@ -249,6 +249,12 @@ func NewEngine(comm *mpi.Comm, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("%w: transport has %d streams, config needs %d",
 			ErrBadConfig, comm.Streams(), cfg.RequiredStreams())
 	}
+	if cfg.Algorithm == Hierarchical && comm.Size()%cfg.GPUsPerNode != 0 {
+		// The two-level schedule needs equally sized nodes; failing here
+		// beats failing on the first all-reduce of the training loop.
+		return nil, fmt.Errorf("%w: world size %d is not divisible by gpusPerNode %d",
+			ErrBadConfig, comm.Size(), cfg.GPUsPerNode)
+	}
 	if cfg.MinSyncBytes == 0 {
 		cfg.MinSyncBytes = cfg.GranularityBytes
 	}

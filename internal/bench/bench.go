@@ -124,7 +124,11 @@ func applyParams(cfg *cluster.Config, p autotune.Params) {
 	cfg.Engine.Streams = p.Streams
 	cfg.Engine.GranularityBytes = p.GranularityBytes
 	cfg.Engine.SegmentBytes = p.SegmentBytes
-	if p.Algorithm == autotune.AlgoTree {
+	// The simulator models hierarchy at the physical node boundary; a tuned
+	// GPUsPerNode of 1 means flat, any larger grouping maps to the node
+	// hierarchy (the live engine clamps likewise when the grouping does not
+	// divide the world).
+	if p.Algorithm == autotune.AlgoTree && p.GPUsPerNode != 1 {
 		cfg.Engine.Algorithm = cluster.Hierarchical
 	} else {
 		cfg.Engine.Algorithm = cluster.Ring
@@ -185,6 +189,10 @@ func neighborhood(s autotune.Space, p autotune.Params) autotune.Space {
 		q = s.Neighbor(p, 3, dir)
 		if len(sub.Segments) == 0 || sub.Segments[len(sub.Segments)-1] != q.SegmentBytes {
 			sub.Segments = append(sub.Segments, q.SegmentBytes)
+		}
+		q = s.Neighbor(p, 4, dir)
+		if len(sub.NodeGroups) == 0 || sub.NodeGroups[len(sub.NodeGroups)-1] != q.GPUsPerNode {
+			sub.NodeGroups = append(sub.NodeGroups, q.GPUsPerNode)
 		}
 	}
 	return sub

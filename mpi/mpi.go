@@ -167,6 +167,26 @@ func (c *Comm) LeaderGroup(gpusPerNode int) (*Comm, error) {
 	return c.Subgroup(leaders)
 }
 
+// CrossNodeGroup derives the sub-communicator of the ranks sharing this
+// rank's node-local index across all nodes — {j, g+j, 2g+j, ...} for local
+// index j — assuming gpusPerNode consecutive global ranks per node. Every
+// rank is a member of exactly one cross-node communicator, and its peers all
+// live on *other* nodes: this is the inter-host tier of the two-level
+// hierarchical all-reduce, where each node-local index reduces its own shard
+// across the cluster concurrently with the other indices (the Megatron-style
+// schedule), instead of funneling all cross-node traffic through one leader.
+func (c *Comm) CrossNodeGroup(gpusPerNode int) (*Comm, error) {
+	if gpusPerNode <= 0 {
+		return nil, fmt.Errorf("%w: gpusPerNode %d", ErrBadGroup, gpusPerNode)
+	}
+	local := c.group[c.rank] % gpusPerNode
+	var ranks []int
+	for g := local; g < c.ep.Size(); g += gpusPerNode {
+		ranks = append(ranks, g)
+	}
+	return c.Subgroup(ranks)
+}
+
 // barrierToken is the one-byte payload every barrier round exchanges. It is
 // deliberately shared across rounds, ranks and Barrier calls even though Send
 // normally transfers exclusive payload ownership: barrier receivers discard

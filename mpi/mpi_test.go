@@ -152,6 +152,35 @@ func TestLeaderGroup(t *testing.T) {
 	}
 }
 
+func TestCrossNodeGroup(t *testing.T) {
+	comms := worldComms(t, 8, 1) // two "nodes" of 4
+	for r, c := range comms {
+		sub, err := c.CrossNodeGroup(4)
+		if err != nil {
+			t.Fatalf("CrossNodeGroup on %d: %v", r, err)
+		}
+		if sub.Size() != 2 {
+			t.Errorf("rank %d cross group size = %d, want 2", r, sub.Size())
+		}
+		if sub.Rank() != r/4 {
+			t.Errorf("rank %d cross-relative rank = %d, want %d", r, sub.Rank(), r/4)
+		}
+		// Members must share this rank's node-local index.
+		for i := 0; i < sub.Size(); i++ {
+			g, err := sub.GlobalRank(i)
+			if err != nil {
+				t.Fatalf("GlobalRank: %v", err)
+			}
+			if g%4 != r%4 {
+				t.Errorf("rank %d cross member %d has local index %d, want %d", r, g, g%4, r%4)
+			}
+		}
+	}
+	if _, err := comms[0].CrossNodeGroup(0); !errors.Is(err, ErrBadGroup) {
+		t.Errorf("CrossNodeGroup(0) error = %v", err)
+	}
+}
+
 func TestBarrier(t *testing.T) {
 	for _, size := range []int{1, 2, 3, 4, 7, 8} {
 		comms := worldComms(t, size, 1)

@@ -23,6 +23,10 @@ const (
 	RDMA
 	NVLink
 	PCIe
+	// SHM is the mmap'd shared-memory transport between co-located
+	// processes (transport/shmnet): pure memcpy through lock-free rings, no
+	// syscalls on the data path.
+	SHM
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +40,8 @@ func (k LinkKind) String() string {
 		return "nvlink"
 	case PCIe:
 		return "pcie"
+	case SHM:
+		return "shm"
 	default:
 		return fmt.Sprintf("LinkKind(%d)", int(k))
 	}
@@ -197,6 +203,37 @@ func PCIeGen3() Link {
 	}
 }
 
+// SHMIntraHost returns the shared-memory intra-host link of transport/shmnet:
+// frames move by memcpy through per-(peer, stream) rings, so one stream
+// already runs near memory-bandwidth-bound line rate and the hand-off
+// latency is a couple of scheduler yields, not a network round trip.
+// Calibrated against BenchmarkShmSendRecv (BENCH_pr6.json): ~4-9 GB/s per
+// lane on the reference box, rising with frame size.
+func SHMIntraHost() Link {
+	return Link{
+		Kind:            SHM,
+		CapacityGbps:    64, // ~8 GB/s memcpy-bound per direction
+		SingleStreamEff: 0.85,
+		MaxUtilization:  0.97,
+		BaseLatency:     2 * time.Microsecond,
+	}
+}
+
+// LoopbackTCP returns the kernel loopback TCP path between co-located
+// processes: the data crosses the socket stack twice (write+read syscalls,
+// kernel buffer copies), which caps per-stream throughput far below memcpy
+// and adds tens of microseconds of latency — the gap the shm transport
+// exists to close.
+func LoopbackTCP() Link {
+	return Link{
+		Kind:            TCP,
+		CapacityGbps:    8,
+		SingleStreamEff: 0.40,
+		MaxUtilization:  0.95,
+		BaseLatency:     60 * time.Microsecond,
+	}
+}
+
 // Topology describes the two-level network of a GPU cloud deployment:
 // GPUs within a node communicate over Intra, nodes communicate over Inter.
 type Topology struct {
@@ -267,4 +304,18 @@ func V100RDMACluster(gpus int) Topology {
 	top := V100Cluster(gpus)
 	top.Inter = RDMA100Gbps()
 	return top
+}
+
+// TwoTierLoopback returns the same-machine multi-process topology of the
+// shm-vs-TCP A/B benchmarks: ranksPerHost processes per simulated host wired
+// by shared-memory rings, hosts wired by loopback TCP. It is the two-tier
+// link model under which the simulator predicts when the two-level
+// hierarchical schedule beats the flat pipelined ring.
+func TwoTierLoopback(hosts, ranksPerHost int) Topology {
+	return Topology{
+		Nodes:       hosts,
+		GPUsPerNode: ranksPerHost,
+		Intra:       SHMIntraHost(),
+		Inter:       LoopbackTCP(),
+	}
 }

@@ -100,6 +100,13 @@ type OptimizerFactory func() optimizer.Optimizer
 func evalCandidate(comm *mpi.Comm, base engine.Config, p autotune.Params, iters int,
 	producer Producer, opt OptimizerFactory) (float64, error) {
 	cfg := ApplyParams(base, p)
+	// The search space is topology-agnostic: a node grouping that does not
+	// divide this deployment's world size cannot run (the two-level schedule
+	// needs equally sized nodes), so the candidate degenerates to the flat
+	// ring rather than erroring the whole tuning session.
+	if cfg.Algorithm == engine.Hierarchical && comm.Size()%cfg.GPUsPerNode != 0 {
+		cfg.Algorithm = engine.Ring
+	}
 	tr, err := NewTrainer(comm, cfg, producer, opt())
 	if err != nil {
 		return 0, fmt.Errorf("candidate %v: %w", p, err)
@@ -134,6 +141,9 @@ func ApplyParams(base engine.Config, p autotune.Params) engine.Config {
 	cfg.MinSyncBytes = 0 // re-derive from the new granularity
 	if p.Algorithm == autotune.AlgoTree {
 		cfg.Algorithm = engine.Hierarchical
+		if p.GPUsPerNode > 0 {
+			cfg.GPUsPerNode = p.GPUsPerNode
+		}
 	} else {
 		cfg.Algorithm = engine.Ring
 	}

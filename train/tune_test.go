@@ -21,6 +21,7 @@ func smallSpace() autotune.Space {
 		Granularities: []int64{32 << 10, 128 << 10},
 		Algorithms:    []string{autotune.AlgoRing, autotune.AlgoTree},
 		Segments:      []int64{16 << 10, 64 << 10},
+		NodeGroups:    []int{1, 2},
 	}
 }
 

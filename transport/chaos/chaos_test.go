@@ -9,6 +9,7 @@ import (
 	"aiacc/internal/bufpool"
 	"aiacc/internal/leakcheck"
 	"aiacc/transport"
+	"aiacc/transport/shmnet"
 )
 
 func mem(t *testing.T, size, streams int, plan *Plan) (*Network, []transport.Endpoint) {
@@ -254,4 +255,96 @@ func TestChaosOverTCP(t *testing.T) {
 			t.Fatal("survivor never observed the crash")
 		}
 	}
+}
+
+// shm builds a chaos-wrapped shared-memory network. The decorator composes
+// over shm rings with no shm-specific code: faults act on the frame level,
+// above the ring buffers.
+func shm(t *testing.T, size, streams int, plan *Plan) (*Network, []transport.Endpoint) {
+	t.Helper()
+	inner, err := shmnet.New(size, streams, shmnet.WithOpTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := Wrap(inner, plan)
+	t.Cleanup(func() { _ = net.Close() })
+	eps := make([]transport.Endpoint, size)
+	for r := range eps {
+		if eps[r], err = net.Endpoint(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, eps
+}
+
+// TestChaosSoakShmScenarios exercises the four fault families over shared
+// memory (named TestChaosSoak* so `make chaos` picks it up): crash fan-out
+// through the region's rank states, blackholed partitions surfacing as
+// receiver op timeouts, frame truncation inside a ring, and latency faults
+// that slow but do not corrupt.
+func TestChaosSoakShmScenarios(t *testing.T) {
+	t.Run("crash", func(t *testing.T) {
+		_, eps := shm(t, 2, 1, NewPlan(11).CrashRank(1, 1))
+		if err := eps[1].Send(0, 0, bufpool.Get(8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eps[1].Send(0, 0, bufpool.Get(8)); !errors.Is(err, ErrKilled) {
+			t.Fatalf("crash send = %v, want ErrKilled", err)
+		}
+		// The queued pre-crash frame is delivered, then the peer's death
+		// surfaces through the shm rank-state fan-out.
+		data, err := eps[0].Recv(1, 0)
+		if err != nil {
+			t.Fatalf("pre-crash frame: %v", err)
+		}
+		bufpool.Put(data)
+		if _, err := eps[0].Recv(1, 0); !transport.IsCommFailure(err) {
+			t.Fatalf("survivor Recv = %v, want comm failure", err)
+		}
+	})
+	t.Run("partition", func(t *testing.T) {
+		base := leakcheck.Take()
+		_, eps := shm(t, 2, 1, NewPlan(7).Partition(0, 1))
+		if err := eps[0].Send(1, 0, bufpool.Get(8)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eps[1].Recv(0, 0); !errors.Is(err, transport.ErrTimeout) {
+			t.Fatalf("partitioned Recv = %v, want ErrTimeout", err)
+		}
+		if err := base.Buffers(2 * time.Second); err != nil {
+			t.Error(err) // the blackholed payload must have been recycled
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		_, eps := shm(t, 2, 1, NewPlan(7).TruncateFrame(0, 1, 0, 1, 3))
+		if err := eps[0].Send(1, 0, bufpool.Get(8)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := eps[1].Recv(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 5 {
+			t.Fatalf("truncated frame is %d bytes, want 5", len(data))
+		}
+		bufpool.Put(data)
+	})
+	t.Run("latency", func(t *testing.T) {
+		plan := NewPlan(7).
+			Delay(0, 1, -1, 5*time.Millisecond, 5*time.Millisecond).
+			StallReceiver(1, 5*time.Millisecond)
+		_, eps := shm(t, 2, 1, plan)
+		start := time.Now()
+		if err := eps[0].Send(1, 0, bufpool.Get(8)); err != nil {
+			t.Fatal(err)
+		}
+		data, err := eps[1].Recv(0, 0)
+		if err != nil || len(data) != 8 {
+			t.Fatalf("delayed delivery: %v", err)
+		}
+		bufpool.Put(data)
+		if time.Since(start) < 10*time.Millisecond {
+			t.Errorf("faults injected no latency (%v)", time.Since(start))
+		}
+	})
 }

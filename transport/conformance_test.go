@@ -1,0 +1,276 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"aiacc/internal/bufpool"
+	"aiacc/internal/leakcheck"
+	"aiacc/transport"
+	"aiacc/transport/shmnet"
+)
+
+// transportCase describes one transport.Network implementation and its
+// capability differences. The conformance suite runs every shared contract
+// test against every case, so the three transports cannot drift apart on the
+// semantics the collectives depend on.
+type transportCase struct {
+	name     string
+	build    func(t *testing.T, size, streams int) transport.Network
+	selfSend bool // mem and shm loop a rank's frames back to itself; TCP rejects
+	// dupHandshake provokes a second claim of an existing rank and returns
+	// the rejection error; nil when the transport has no handshake (mem) or
+	// its rejection is only reachable below the public API (TCP's acceptAll
+	// path, covered by its own internal test).
+	dupHandshake func(t *testing.T) error
+}
+
+func conformanceCases() []transportCase {
+	return []transportCase{
+		{
+			name: "mem",
+			build: func(t *testing.T, size, streams int) transport.Network {
+				n, err := transport.NewMem(size, streams, transport.WithMemOpTimeout(2*time.Second))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return n
+			},
+			selfSend: true,
+		},
+		{
+			name: "tcp",
+			build: func(t *testing.T, size, streams int) transport.Network {
+				n, err := transport.NewTCP(size, streams, transport.WithOpTimeout(2*time.Second))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return n
+			},
+			selfSend: false,
+		},
+		{
+			name: "shm",
+			build: func(t *testing.T, size, streams int) transport.Network {
+				n, err := shmnet.New(size, streams, shmnet.WithOpTimeout(2*time.Second))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return n
+			},
+			selfSend: true,
+			dupHandshake: func(t *testing.T) error {
+				path := filepath.Join(t.TempDir(), "dup.shm")
+				ep, err := shmnet.Attach(path, 0, 2, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = ep.Close() })
+				dup, err := shmnet.Attach(path, 0, 2, 1)
+				if err == nil {
+					_ = dup.Close()
+				}
+				return err
+			},
+		},
+	}
+}
+
+func endpoints(t *testing.T, net transport.Network, size int) []transport.Endpoint {
+	t.Helper()
+	eps := make([]transport.Endpoint, size)
+	for r := range eps {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatalf("Endpoint(%d): %v", r, err)
+		}
+		eps[r] = ep
+	}
+	return eps
+}
+
+func confPayload(n int, seed byte) []byte {
+	b := bufpool.Get(n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// TestConformanceOwnership drives mixed traffic over every directed pair and
+// stream of each transport and requires the full ownership contract: frames
+// arrive intact and in FIFO order, Send consumes the payload, Recv hands the
+// caller a recyclable buffer, and after teardown the pool balance is exactly
+// restored.
+func TestConformanceOwnership(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			base := leakcheck.Take()
+			const size, streams, frames = 3, 2, 8
+			net := tc.build(t, size, streams)
+			eps := endpoints(t, net, size)
+			var wg sync.WaitGroup
+			for from := 0; from < size; from++ {
+				for to := 0; to < size; to++ {
+					if from == to {
+						continue
+					}
+					for s := 0; s < streams; s++ {
+						wg.Add(1)
+						go func(from, to, s int) {
+							defer wg.Done()
+							for i := 0; i < frames; i++ {
+								seed := byte(64*from + 16*to + 4*s + i)
+								if err := eps[from].Send(to, s, confPayload(128+i, seed)); err != nil {
+									t.Errorf("send %d->%d stream %d: %v", from, to, s, err)
+									return
+								}
+							}
+						}(from, to, s)
+						wg.Add(1)
+						go func(from, to, s int) {
+							defer wg.Done()
+							for i := 0; i < frames; i++ {
+								got, err := eps[to].Recv(from, s)
+								if err != nil {
+									t.Errorf("recv %d<-%d stream %d: %v", to, from, s, err)
+									return
+								}
+								seed := byte(64*from + 16*to + 4*s + i)
+								want := confPayload(128+i, seed)
+								if !bytes.Equal(got, want) {
+									t.Errorf("%d->%d stream %d frame %d: payload mismatch", from, to, s, i)
+								}
+								bufpool.Put(want)
+								bufpool.Put(got)
+							}
+						}(from, to, s)
+					}
+				}
+			}
+			wg.Wait()
+			if err := net.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			if err := base.Buffers(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+			if err := base.Goroutines(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConformanceSelfSend pins down the transports' self-send capability:
+// mem and shm loop frames back (collectives rely on uniform addressing),
+// TCP has no self-connection and must reject with ErrBadRank — and must NOT
+// consume the payload, since validation errors leave ownership with the
+// caller.
+func TestConformanceSelfSend(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			net := tc.build(t, 2, 1)
+			defer func() { _ = net.Close() }()
+			eps := endpoints(t, net, 2)
+			p := confPayload(64, 9)
+			err := eps[0].Send(0, 0, p)
+			if tc.selfSend {
+				if err != nil {
+					t.Fatalf("self send: %v", err)
+				}
+				got, err := eps[0].Recv(0, 0)
+				if err != nil || !bytes.Equal(got[:8], []byte{9, 10, 11, 12, 13, 14, 15, 16}) {
+					t.Fatalf("self recv = %v, %v", got, err)
+				}
+				bufpool.Put(got)
+			} else {
+				if !errors.Is(err, transport.ErrBadRank) {
+					t.Fatalf("self send = %v, want ErrBadRank", err)
+				}
+				bufpool.Put(p) // validation error: ownership stayed with us
+			}
+		})
+	}
+}
+
+// TestConformanceSendCloseRace races in-flight Sends and Recvs against
+// Close on every transport (run under -race in make ci). Any outcome is
+// acceptable per operation — success before the close lands, or a
+// classified failure after — but never a panic, a hang, or an unclassified
+// error, and the buffer pool must balance afterwards.
+func TestConformanceSendCloseRace(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			base := leakcheck.Take()
+			const size = 3
+			net := tc.build(t, size, 1)
+			eps := endpoints(t, net, size)
+			var wg sync.WaitGroup
+			for r := 0; r < size; r++ {
+				wg.Add(2)
+				go func(r int) {
+					defer wg.Done()
+					to := (r + 1) % size
+					for i := 0; ; i++ {
+						if err := eps[r].Send(to, 0, confPayload(256, byte(i))); err != nil {
+							if !errors.Is(err, transport.ErrClosed) && !transport.IsCommFailure(err) {
+								t.Errorf("rank %d send: unclassified %v", r, err)
+							}
+							return
+						}
+					}
+				}(r)
+				go func(r int) {
+					defer wg.Done()
+					from := (r + size - 1) % size
+					for {
+						data, err := eps[r].Recv(from, 0)
+						if err != nil {
+							if !errors.Is(err, transport.ErrClosed) && !transport.IsCommFailure(err) {
+								t.Errorf("rank %d recv: unclassified %v", r, err)
+							}
+							return
+						}
+						bufpool.Put(data)
+					}
+				}(r)
+			}
+			time.Sleep(20 * time.Millisecond) // let traffic build up
+			for _, ep := range eps {
+				_ = ep.Close()
+			}
+			wg.Wait()
+			_ = net.Close()
+			if err := base.Buffers(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+			if err := base.Goroutines(5 * time.Second); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConformanceDuplicateHandshake checks that claiming an already-claimed
+// rank is rejected where the transport has a join handshake.
+func TestConformanceDuplicateHandshake(t *testing.T) {
+	for _, tc := range conformanceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.dupHandshake == nil {
+				t.Skip("no public handshake path (TCP's acceptAll rejection has its own internal test)")
+			}
+			err := tc.dupHandshake(t)
+			if err == nil {
+				t.Fatal("duplicate rank claim accepted")
+			}
+			if tc.name == "shm" && !errors.Is(err, shmnet.ErrDuplicateRank) {
+				t.Fatalf("shm duplicate = %v, want ErrDuplicateRank", err)
+			}
+		})
+	}
+}

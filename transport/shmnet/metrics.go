@@ -1,0 +1,83 @@
+package shmnet
+
+import (
+	"strconv"
+
+	"aiacc/metrics"
+)
+
+// Shared-memory transport instruments (DESIGN.md §7, §9). Per-(peer, stream)
+// traffic counters mirror the TCP mesh's, so dashboards see both tiers of a
+// two-level all-reduce side by side; the occupancy histogram shows how hard
+// the rings are backpressuring, and the spin-vs-park counters show whether
+// waiters are resolving in the cheap Gosched phase or escalating to sleeps
+// (on a loaded host, a park-heavy profile means the ring is undersized or
+// the consumer is starved).
+//
+// All instruments are resolved once at endpoint construction and kept in
+// index-addressed slices — the data plane increments atomics directly.
+
+// waitCounters classifies resolved blocking episodes.
+type waitCounters struct {
+	spins *metrics.Counter // episodes resolved within the Gosched phase
+	parks *metrics.Counter // episodes that escalated to timed sleeps
+}
+
+type shmMetrics struct {
+	// Indexed peer*streams+stream.
+	txBytes, txFrames []*metrics.Counter
+	rxBytes, rxFrames []*metrics.Counter
+
+	ringOcc *metrics.Histogram // ring occupancy in bytes, observed at Send
+	send    waitCounters
+	recv    waitCounters
+}
+
+func newShmMetrics(rank, size, streams int) *shmMetrics {
+	m := &shmMetrics{
+		txBytes:  make([]*metrics.Counter, size*streams),
+		txFrames: make([]*metrics.Counter, size*streams),
+		rxBytes:  make([]*metrics.Counter, size*streams),
+		rxFrames: make([]*metrics.Counter, size*streams),
+	}
+	rankL := metrics.L("rank", strconv.Itoa(rank))
+	for peer := 0; peer < size; peer++ {
+		peerL := metrics.L("peer", strconv.Itoa(peer))
+		for s := 0; s < streams; s++ {
+			idx := peer*streams + s
+			streamL := metrics.L("stream", strconv.Itoa(s))
+			m.txBytes[idx] = metrics.NewCounter("aiacc_shm_tx_bytes_total",
+				"Payload bytes sent over shared memory, by destination peer and stream.", rankL, peerL, streamL)
+			m.txFrames[idx] = metrics.NewCounter("aiacc_shm_tx_frames_total",
+				"Frames sent over shared memory, by destination peer and stream.", rankL, peerL, streamL)
+			m.rxBytes[idx] = metrics.NewCounter("aiacc_shm_rx_bytes_total",
+				"Payload bytes received over shared memory, by source peer and stream.", rankL, peerL, streamL)
+			m.rxFrames[idx] = metrics.NewCounter("aiacc_shm_rx_frames_total",
+				"Frames received over shared memory, by source peer and stream.", rankL, peerL, streamL)
+		}
+	}
+	m.ringOcc = metrics.NewHistogram("aiacc_shm_ring_occupancy_bytes",
+		"Ring occupancy observed at Send (bytes queued ahead of this frame).",
+		metrics.SizeBytes, rankL)
+	m.send = waitCounters{
+		spins: metrics.NewCounter("aiacc_shm_send_spin_waits_total",
+			"Send blocking episodes resolved within the spin/yield phase.", rankL),
+		parks: metrics.NewCounter("aiacc_shm_send_park_waits_total",
+			"Send blocking episodes that escalated to timed sleeps.", rankL),
+	}
+	m.recv = waitCounters{
+		spins: metrics.NewCounter("aiacc_shm_recv_spin_waits_total",
+			"Recv blocking episodes resolved within the spin/yield phase.", rankL),
+		parks: metrics.NewCounter("aiacc_shm_recv_park_waits_total",
+			"Recv blocking episodes that escalated to timed sleeps.", rankL),
+	}
+	return m
+}
+
+// observeOccupancy samples the bytes already queued in the lane at Send.
+func (m *shmMetrics) observeOccupancy(l *lane) {
+	if !metrics.Enabled() {
+		return
+	}
+	m.ringOcc.Observe(int64(l.tail.Load() - l.head.Load()))
+}

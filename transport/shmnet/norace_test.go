@@ -1,0 +1,5 @@
+//go:build !race
+
+package shmnet
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package shmnet
+
+// raceEnabled reports the race detector is active: sync.Pool deliberately
+// drops a fraction of Puts under race, so allocation-count assertions are
+// meaningless there.
+const raceEnabled = true

@@ -888,6 +888,9 @@ func (e *tcpEndpoint) Send(to, stream int, data []byte) error {
 	}
 	select {
 	case <-e.closed:
+		// Past validation the payload belongs to the transport on every exit,
+		// including this one (the mem and shm transports agree): recycle it.
+		bufpool.Put(data)
 		return ErrClosed
 	default:
 	}

@@ -1,0 +1,161 @@
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"aiacc/internal/bufpool"
+	"aiacc/transport"
+	"aiacc/transport/shmnet"
+)
+
+// buildTwoTier assembles a hosts×perHost two-tier network with shm intra
+// tiers and a mem inter tier.
+func buildTwoTier(t *testing.T, hosts, perHost, streams int) transport.Network {
+	t.Helper()
+	intra := make([]transport.Network, hosts)
+	for h := range intra {
+		n, err := shmnet.New(perHost, streams, shmnet.WithOpTimeout(2*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra[h] = n
+	}
+	inter, err := transport.NewMem(hosts*perHost, streams, transport.WithMemOpTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := transport.NewTwoTier(perHost, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func tpayload(n int, seed byte) []byte {
+	b := bufpool.Get(n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+// TestTwoTierRouting sends over every directed pair of a 2×2 topology and
+// checks both tiers deliver intact frames under global rank addressing.
+func TestTwoTierRouting(t *testing.T) {
+	net := buildTwoTier(t, 2, 2, 2)
+	defer net.Close()
+	eps := make([]transport.Endpoint, 4)
+	for r := range eps {
+		ep, err := net.Endpoint(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.Rank() != r || ep.Size() != 4 || ep.Streams() != 2 {
+			t.Fatalf("endpoint %d geometry: rank=%d size=%d streams=%d", r, ep.Rank(), ep.Size(), ep.Streams())
+		}
+		eps[r] = ep
+	}
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			if from == to {
+				continue
+			}
+			for s := 0; s < 2; s++ {
+				seed := byte(16*from + 4*to + s)
+				if err := eps[from].Send(to, s, tpayload(256, seed)); err != nil {
+					t.Fatalf("send %d->%d stream %d: %v", from, to, s, err)
+				}
+				got, err := eps[to].Recv(from, s)
+				if err != nil {
+					t.Fatalf("recv %d<-%d stream %d: %v", to, from, s, err)
+				}
+				want := tpayload(256, seed)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%d->%d stream %d: payload mismatch", from, to, s)
+				}
+				bufpool.Put(want)
+				bufpool.Put(got)
+			}
+		}
+	}
+}
+
+// TestTwoTierIntraFailureMapsGlobalRank closes a rank and checks that a
+// co-located peer's failure is reported with the GLOBAL rank, not the intra
+// network's local one.
+func TestTwoTierIntraFailureMapsGlobalRank(t *testing.T) {
+	net := buildTwoTier(t, 2, 2, 1)
+	defer net.Close()
+	// Global ranks 2 and 3 are host 1's local ranks 0 and 1.
+	ep2, err := net.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep3, err := net.Endpoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ep2.Close()
+	_, err = ep3.Recv(2, 0)
+	var pf *transport.PeerFailedError
+	if !errors.As(err, &pf) {
+		t.Fatalf("got %v, want PeerFailedError", err)
+	}
+	if pf.Rank != 2 {
+		t.Fatalf("failure attributed to rank %d, want global rank 2", pf.Rank)
+	}
+}
+
+// TestTwoTierAbortCarriesGlobalOrigin aborts an intra-host lane with a
+// global origin and checks it arrives unmodified.
+func TestTwoTierAbortCarriesGlobalOrigin(t *testing.T) {
+	net := buildTwoTier(t, 2, 2, 1)
+	defer net.Close()
+	ep2, err := net.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep3, err := net.Endpoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.Abort(ep2, 3, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ep3.Recv(2, 0)
+	var pf *transport.PeerFailedError
+	if !errors.As(err, &pf) || !errors.Is(err, transport.ErrAborted) {
+		t.Fatalf("got %v, want PeerFailedError wrapping ErrAborted", err)
+	}
+	if pf.Rank != 2 {
+		t.Fatalf("abort origin %d, want 2", pf.Rank)
+	}
+}
+
+func TestTwoTierGeometryValidation(t *testing.T) {
+	intra := make([]transport.Network, 2)
+	for h := range intra {
+		n, err := transport.NewMem(2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intra[h] = n
+	}
+	inter, err := transport.NewMem(3, 1) // wrong: should span 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.NewTwoTier(2, intra, inter); err == nil {
+		t.Fatal("mismatched inter size accepted")
+	}
+	inter2, err := transport.NewMem(4, 2) // wrong stream count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := transport.NewTwoTier(2, intra, inter2); err == nil {
+		t.Fatal("mismatched stream count accepted")
+	}
+}
