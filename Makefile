@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: ci build test vet race chaos bench-smoke metrics-overhead bench bench-tcp bench-seg bench-shm
+.PHONY: ci build test vet race chaos bench-smoke metrics-overhead bench bench-tcp bench-seg bench-shm bench-priority
 
 ci: vet build test race chaos bench-smoke metrics-overhead
 
@@ -26,15 +26,17 @@ vet:
 # (transport/shmnet), the two-tier composition and the cross-transport
 # conformance suite alongside the mem and TCP transports.
 race:
-	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... ./internal/sendpool/... ./internal/gradsync/... ./baseline/... ./fault/... .
+	$(GO) test -race ./collective/... ./transport/... ./engine/... ./mpi/... ./metrics/... ./internal/sendpool/... ./internal/gradsync/... ./internal/packing/... ./baseline/... ./fault/... .
 
 # Seeded chaos soak (DESIGN.md §8): the pipelined ring all-reduce under ~20
 # randomized fault scenarios (crashes, partitions, drops, truncation, delay)
 # across the mem and TCP transports, under the race detector, with
 # hang-freedom, pool-balance and goroutine-balance enforced per seed.
 # Reproduce one failure with: go test -race -run 'TestChaosSoakMem/seed=K' ./collective/
+# The engine package contributes the priority-scheduler kill scenario (a rank
+# dies mid-preemption; survivors classify the error and leak nothing).
 chaos:
-	$(GO) test -race -count=1 -short -run 'TestChaosSoak|TestAbort' ./collective/ ./transport/chaos/
+	$(GO) test -race -count=1 -short -run 'TestChaosSoak|TestAbort' ./collective/ ./transport/chaos/ ./engine/
 
 bench-smoke:
 	$(GO) test -run XXX -bench 'Live|Codec|TCP|Shm|Transport' -benchtime 1x .
@@ -69,3 +71,9 @@ bench-shm:
 	$(GO) test -run XXX -bench 'BenchmarkTransportLoopback|BenchmarkTransportPingPong|BenchmarkRingAllReduceShm|BenchmarkRingAllReduceTCP/4ranks/[0-9]+elems$$' -benchtime 100x -count 3 .
 	$(GO) run ./cmd/aiacc-bench -experiment shm-loopback -metrics=false
 	$(GO) run ./cmd/aiacc-bench -experiment hierarchy -metrics=false
+
+# Priority-scheduler live A/B (the BENCH_pr7.json numbers): scheduler off vs
+# depth=4 over the skewed (CTR-like) and uniform (BERT-like) profiles on a
+# rate-modelled slow link, with the next-forward stall as the headline metric.
+bench-priority:
+	$(GO) run ./cmd/aiacc-bench -experiment priority

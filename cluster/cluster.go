@@ -134,6 +134,14 @@ type Engine struct {
 	// relative to a tuned NCCL socket stack (PyTorch-DDP's default TCP
 	// backend reaches ~2/3 of NCCL's per-connection rate). 0 means 1.
 	LinkEfficiency float64
+	// PriorityDepth is the priority-scheduler class count, mirroring
+	// engine.Config.PriorityDepth: 0 dispatches units in emission (FIFO)
+	// order; ≥1 packs and admits units in reverse-topological order
+	// (earliest forward layer first, quantized into this many classes);
+	// ≥2 additionally grants a strictly more urgent unit a preemptor slot
+	// past the stream cap, modeling byte-level preemption of in-flight
+	// transfers at segment boundaries. AIACC only.
+	PriorityDepth int
 }
 
 // effLink returns LinkEfficiency with the zero value defaulted to 1.
@@ -281,6 +289,9 @@ func (c Config) validate() error {
 	if c.Engine.SegmentBytes < 0 {
 		return fmt.Errorf("%w: segment bytes %d", ErrBadConfig, c.Engine.SegmentBytes)
 	}
+	if c.Engine.PriorityDepth < 0 {
+		return fmt.Errorf("%w: priority depth %d", ErrBadConfig, c.Engine.PriorityDepth)
+	}
 	if c.ModelParallelShards < 0 || (c.ModelParallelShards > 1 && c.ModelParallelShards > c.Topology.GPUsPerNode) {
 		return fmt.Errorf("%w: model parallel shards %d", ErrBadConfig, c.ModelParallelShards)
 	}
@@ -308,6 +319,13 @@ type Result struct {
 	NICUtilization float64
 	// NICBusy is the NIC busy time per iteration.
 	NICBusy time.Duration
+	// CriticalPath is the DAG critical path of the *next* forward pass:
+	// starting when backward drains, layer l may run only after layers
+	// 0..l-1 ran and l's own gradient finished its all-reduce and update.
+	// It prices the schedule, not just the volume — two engines with equal
+	// IterTime differ here when one delivers early-layer gradients sooner
+	// (the priority scheduler's target metric).
+	CriticalPath time.Duration
 }
 
 // Simulate runs the deployment and returns steady-state metrics.
@@ -336,6 +354,7 @@ func Simulate(cfg Config) (Result, error) {
 		rounds     int
 		units      int
 		exposed    time.Duration
+		critical   time.Duration
 		nicBusy    time.Duration
 		measured   int
 		prevStats  sim.LinkStats
@@ -353,6 +372,7 @@ func Simulate(cfg Config) (Result, error) {
 			rounds += it.syncRounds
 			units += it.units
 			exposed += it.exposed
+			critical += it.critical
 			st := w.nic.Stats()
 			busy := st.BusyTime - prevStats.BusyTime
 			nicBusy += busy
@@ -367,12 +387,13 @@ func Simulate(cfg Config) (Result, error) {
 		measured = 1
 	}
 	res := Result{
-		IterTime:    total / time.Duration(measured),
-		ComputeTime: w.computeTime,
-		ExposedComm: exposed / time.Duration(measured),
-		SyncRounds:  rounds / measured,
-		Units:       units / measured,
-		NICBusy:     nicBusy / time.Duration(measured),
+		IterTime:     total / time.Duration(measured),
+		ComputeTime:  w.computeTime,
+		ExposedComm:  exposed / time.Duration(measured),
+		SyncRounds:   rounds / measured,
+		Units:        units / measured,
+		NICBusy:      nicBusy / time.Duration(measured),
+		CriticalPath: critical / time.Duration(measured),
 	}
 	if sumUtilDen > 0 {
 		res.NICUtilization = sumUtilNum / sumUtilDen

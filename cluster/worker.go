@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aiacc/internal/sim"
@@ -26,7 +27,13 @@ type worker struct {
 	updateTime  time.Duration
 	schedule    []model.GradEvent
 	paramBytes  []int64 // per flat param, after model-parallel sharding
+	paramLayer  []int   // per flat param, forward layer index
 	totalBytes  int64
+
+	// Per forward layer (priority scheduling and critical-path pricing).
+	layers     int
+	layerBytes []int64         // gradient bytes per layer
+	fwdShare   []time.Duration // forward compute share per layer
 
 	// Cross-iteration serial resources.
 	masterFree time.Duration // when the master coordinator is next free
@@ -38,6 +45,7 @@ type iterStats struct {
 	syncRounds int
 	units      int
 	exposed    time.Duration
+	critical   time.Duration
 }
 
 func newWorker(cfg Config, cal Calibration) *worker {
@@ -66,13 +74,29 @@ func newWorker(cfg Config, cal Calibration) *worker {
 
 	params := cfg.Model.Params()
 	w.paramBytes = make([]int64, len(params))
+	w.paramLayer = make([]int, len(params))
+	w.layers = len(cfg.Model.Layers)
+	w.layerBytes = make([]int64, w.layers)
 	for i, p := range params {
 		b := int64(p.Elems) * 4 / int64(shards)
 		if b < 4 {
 			b = 4
 		}
 		w.paramBytes[i] = b
+		w.paramLayer[i] = p.Layer
+		w.layerBytes[p.Layer] += b
 		w.totalBytes += b
+	}
+	// Per-layer forward compute share, for the next-forward critical path.
+	w.fwdShare = make([]time.Duration, w.layers)
+	var totalFLOPs int64
+	for _, l := range cfg.Model.Layers {
+		totalFLOPs += l.FwdFLOPs
+	}
+	for l, layer := range cfg.Model.Layers {
+		if totalFLOPs > 0 {
+			w.fwdShare[l] = time.Duration(float64(w.fwdTime) * float64(layer.FwdFLOPs) / float64(totalFLOPs))
+		}
 	}
 	w.schedule = cfg.Model.BackwardSchedule()
 	w.updateTime = cal.UpdateBase +
@@ -197,25 +221,66 @@ func (w *worker) hop(l netmodel.Link) time.Duration {
 	return w.cal.RingHopLatency
 }
 
+// span is a contiguous run of one forward layer's gradient bytes, tracked
+// from production through agreement and packing so unit completions can be
+// attributed back to layers.
+type span struct {
+	layer int
+	bytes int64
+}
+
+// simUnit is one packed communication unit: its payload spans and the
+// priority class derived from its most urgent span.
+type simUnit struct {
+	bytes int64
+	class int
+	spans []span
+}
+
+// prioritized reports whether the engine schedules units by priority.
+func (w *worker) prioritized() bool {
+	return w.cfg.Engine.Kind == AIACC && w.cfg.Engine.PriorityDepth > 0
+}
+
+// classOf quantizes a forward layer index into a priority class, mirroring
+// the live engine (engine/sched.go classOf).
+func (w *worker) classOf(layer int) int {
+	depth := w.cfg.Engine.PriorityDepth
+	if depth <= 1 || w.layers == 0 {
+		return 0
+	}
+	c := layer * depth / w.layers
+	if c >= depth {
+		c = depth - 1
+	}
+	return c
+}
+
 // iteration is the per-iteration engine state machine.
 type iteration struct {
 	w *worker
 
 	bwdEnd time.Duration
 
-	producedBytes   int64 // locally produced, not yet agreed
-	producedTensors int   // produced tensors awaiting agreement (per round)
-	totalProduced   int   // produced tensors this iteration (never reset)
+	producedBytes   int64  // locally produced, not yet agreed
+	producedSpans   []span // same bytes with layer attribution
+	producedTensors int    // produced tensors awaiting agreement (per round)
+	totalProduced   int    // produced tensors this iteration (never reset)
 	allProduced     bool
 	roundInFlight   bool
 
-	agreedBacklog int64 // agreed but not yet emitted as units
-	agreedAll     bool  // every gradient has been agreed
+	agreedBacklog int64  // agreed but not yet emitted as units
+	agreedSpans   []span // backlog with layer attribution, emission order
+	agreedAll     bool   // every gradient has been agreed
 	emittedBytes  int64
 	completeBytes int64
 
-	unitQueue     []int64
+	unitQueue     []simUnit
 	activeStreams int
+	activeClasses []int // class multiset of in-flight units
+
+	layerLeft []int64         // gradient bytes not yet communicated, per layer
+	layerDone []time.Duration // completion time of each layer's last byte
 
 	lastCommDone time.Duration
 	stats        iterStats
@@ -225,12 +290,17 @@ type iteration struct {
 // time and stats. The simulator clock carries over between iterations.
 func (w *worker) runIteration() (time.Duration, iterStats, error) {
 	start := w.s.Now()
-	it := &iteration{w: w, bwdEnd: start + w.computeTime, lastCommDone: start + w.computeTime}
+	it := &iteration{
+		w: w, bwdEnd: start + w.computeTime, lastCommDone: start + w.computeTime,
+		layerLeft: append([]int64(nil), w.layerBytes...),
+		layerDone: make([]time.Duration, w.layers),
+	}
 
 	n := w.world()
 	if n == 1 {
 		// Single worker: no communication at all.
 		w.s.RunUntil(it.bwdEnd + w.updateTime)
+		it.stats.critical = it.criticalPath()
 		return w.s.Now(), it.stats, nil
 	}
 
@@ -259,6 +329,7 @@ func (w *worker) runIteration() (time.Duration, iterStats, error) {
 		end = it.lastCommDone
 	}
 	end += w.updateTime
+	it.stats.critical = it.criticalPath()
 	it.stats.exposed = it.lastCommDone - it.bwdEnd
 	if it.stats.exposed < 0 {
 		it.stats.exposed = 0
@@ -271,6 +342,7 @@ func (w *worker) runIteration() (time.Duration, iterStats, error) {
 func (it *iteration) produce(param int) {
 	w := it.w
 	it.producedBytes += w.paramBytes[param]
+	it.producedSpans = append(it.producedSpans, span{layer: w.paramLayer[param], bytes: w.paramBytes[param]})
 	it.producedTensors++
 	it.totalProduced++
 	if it.totalProduced == len(w.paramBytes) {
@@ -280,7 +352,9 @@ func (it *iteration) produce(param int) {
 	case PyTorchDDP, BytePS, MXNetPS:
 		// No runtime negotiation: buckets fire as they fill.
 		it.agreedBacklog += it.producedBytes
+		it.agreedSpans = append(it.agreedSpans, it.producedSpans...)
 		it.producedBytes = 0
+		it.producedSpans = nil
 		if it.allProduced {
 			it.agreedAll = true
 		}
@@ -313,10 +387,18 @@ func (it *iteration) maybeStartRound() {
 	it.stats.syncRounds++
 
 	roundBytes := it.producedBytes
+	roundSpans := it.producedSpans
 	roundTensors := it.producedTensors
 	roundAll := it.allProduced
 	it.producedBytes = 0
+	it.producedSpans = nil
 	it.producedTensors = 0
+	if w.prioritized() {
+		// Reverse-topological packing: within the agreed batch, the layer
+		// the next forward needs first goes first (canonical (priority, id)
+		// order of internal/packing).
+		sort.SliceStable(roundSpans, func(i, j int) bool { return roundSpans[i].layer < roundSpans[j].layer })
+	}
 
 	now := w.s.Now()
 	var doneAt time.Duration
@@ -358,6 +440,7 @@ func (it *iteration) maybeStartRound() {
 	w.s.After(doneAt-now, func() {
 		it.roundInFlight = false
 		it.agreedBacklog += roundBytes
+		it.agreedSpans = append(it.agreedSpans, roundSpans...)
 		if roundAll {
 			it.agreedAll = true
 		}
@@ -374,29 +457,96 @@ func (it *iteration) maybeStartRound() {
 func (it *iteration) emitUnits(flush bool) {
 	g := it.w.cfg.Engine.GranularityBytes
 	for it.agreedBacklog >= g {
-		it.enqueue(g)
+		it.enqueue(it.takeUnit(g))
 	}
 	if flush && it.agreedBacklog > 0 {
-		it.enqueue(it.agreedBacklog)
+		it.enqueue(it.takeUnit(it.agreedBacklog))
 	}
 	it.startUnits()
 }
 
-func (it *iteration) enqueue(bytes int64) {
+// takeUnit removes the first `bytes` bytes of agreed backlog as one unit's
+// payload, splitting the boundary span; the unit's class comes from its most
+// urgent span.
+func (it *iteration) takeUnit(bytes int64) simUnit {
+	u := simUnit{bytes: bytes}
+	minLayer := int(^uint(0) >> 1)
+	remaining := bytes
+	for remaining > 0 {
+		s := &it.agreedSpans[0]
+		take := s.bytes
+		if take > remaining {
+			take = remaining
+		}
+		u.spans = append(u.spans, span{layer: s.layer, bytes: take})
+		if s.layer < minLayer {
+			minLayer = s.layer
+		}
+		s.bytes -= take
+		remaining -= take
+		if s.bytes == 0 {
+			it.agreedSpans = it.agreedSpans[1:]
+		}
+	}
+	u.class = it.w.classOf(minLayer)
 	it.agreedBacklog -= bytes
 	it.emittedBytes += bytes
-	it.unitQueue = append(it.unitQueue, bytes)
+	return u
+}
+
+// enqueue adds a unit to the dispatch queue: FIFO normally, class-ordered
+// (stable within a class) under priority scheduling.
+func (it *iteration) enqueue(u simUnit) {
 	it.stats.units++
+	if !it.w.prioritized() {
+		it.unitQueue = append(it.unitQueue, u)
+		return
+	}
+	i := len(it.unitQueue)
+	for i > 0 && it.unitQueue[i-1].class > u.class {
+		i--
+	}
+	it.unitQueue = append(it.unitQueue, simUnit{})
+	copy(it.unitQueue[i+1:], it.unitQueue[i:])
+	it.unitQueue[i] = u
+}
+
+// minActiveClass returns the most urgent in-flight class, or a sentinel
+// above every class when idle.
+func (it *iteration) minActiveClass() int {
+	m := int(^uint(0) >> 1)
+	for _, c := range it.activeClasses {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// admit reports whether the queue head may start now: a stream slot is
+// free, or — preemptive mode — the unit is strictly more urgent than every
+// in-flight one, granting it the preemptor slot (the live scheduler's
+// second runner; the shared-NIC model approximates the parked transfer).
+func (it *iteration) admit(u simUnit) bool {
+	capNow := it.w.streamCap(it.w.s.Now(), it.bwdEnd)
+	if it.activeStreams < capNow {
+		return true
+	}
+	return it.w.cfg.Engine.PriorityDepth >= 2 &&
+		it.activeStreams < capNow+1 && u.class < it.minActiveClass()
 }
 
 // startUnits admits queued units to streams up to the current concurrency
-// cap.
+// cap (plus the preemptor slot in preemptive priority mode).
 func (it *iteration) startUnits() {
 	w := it.w
-	for len(it.unitQueue) > 0 && it.activeStreams < w.streamCap(w.s.Now(), it.bwdEnd) {
-		bytes := it.unitQueue[0]
+	for len(it.unitQueue) > 0 && it.admit(it.unitQueue[0]) {
+		u := it.unitQueue[0]
+		it.unitQueue[0] = simUnit{}
 		it.unitQueue = it.unitQueue[1:]
+		bytes := u.bytes
 		it.activeStreams++
+		it.activeClasses = append(it.activeClasses, u.class)
 		latency, nicVol, serial := w.unitTiming(bytes)
 		// Every unit pays a fixed dispatch cost (communication kernel
 		// launch, gather/scatter packing) on its stream, plus the exposed
@@ -413,19 +563,56 @@ func (it *iteration) startUnits() {
 		}
 		w.s.After(latency+serial, func() {
 			if nicVol <= 0 {
-				it.completeUnit(bytes)
+				it.completeUnit(u)
 				return
 			}
-			w.nic.Start(nicVol, func() { it.completeUnit(bytes) })
+			w.nic.Start(nicVol, func() { it.completeUnit(u) })
 		})
 	}
 }
 
-func (it *iteration) completeUnit(bytes int64) {
+func (it *iteration) completeUnit(u simUnit) {
 	it.activeStreams--
-	it.completeBytes += bytes
-	if it.w.s.Now() > it.lastCommDone {
-		it.lastCommDone = it.w.s.Now()
+	for i, c := range it.activeClasses {
+		if c == u.class {
+			it.activeClasses[i] = it.activeClasses[len(it.activeClasses)-1]
+			it.activeClasses = it.activeClasses[:len(it.activeClasses)-1]
+			break
+		}
+	}
+	it.completeBytes += u.bytes
+	now := it.w.s.Now()
+	for _, s := range u.spans {
+		it.layerLeft[s.layer] -= s.bytes
+		if it.layerLeft[s.layer] <= 0 && it.layerDone[s.layer] < now {
+			it.layerDone[s.layer] = now
+		}
+	}
+	if now > it.lastCommDone {
+		it.lastCommDone = now
 	}
 	it.startUnits()
+}
+
+// criticalPath prices the schedule the next forward pass actually sees: a
+// DAG walk where forward layer l starts only after layers 0..l-1 have run
+// AND layer l's gradients finished communicating (plus its optimizer-update
+// share). The returned duration is the next forward's start-to-finish
+// stretch beyond its pure compute — lower means the priority order delivered
+// front layers earlier.
+func (it *iteration) criticalPath() time.Duration {
+	w := it.w
+	t := it.bwdEnd
+	for l := 0; l < w.layers; l++ {
+		ready := it.bwdEnd
+		if w.layerBytes[l] > 0 {
+			update := time.Duration(float64(w.updateTime) * float64(w.layerBytes[l]) / float64(w.totalBytes))
+			ready = it.layerDone[l] + update
+		}
+		if ready > t {
+			t = ready
+		}
+		t += w.fwdShare[l]
+	}
+	return t - it.bwdEnd
 }

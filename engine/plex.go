@@ -1,0 +1,184 @@
+// Lane multiplexing for preemptive unit scheduling (DESIGN.md §10).
+//
+// The transports guarantee FIFO frame order per (peer, stream) lane, and the
+// collectives rely on it: a ring step's receiver attributes the next frame on
+// the lane to the next expected segment. That breaks the moment two
+// all-reduce units interleave on one stream — which is exactly what
+// segment-boundary preemption does. The plexTable restores per-operation FIFO
+// by tagging every data frame with its unit's sequence number (4 bytes
+// appended to the wire payload) and demultiplexing received frames by tag on
+// the receive side. Tagging is a purely rank-local affair: every rank runs
+// the same engine configuration, so both ends of a lane agree frames are
+// tagged, but *which* unit preempts *where* never needs cross-rank agreement
+// — a frame carries its own identity.
+//
+// Demultiplexing uses a single-puller protocol per lane: whichever operation
+// is blocked on Recv first pulls from the real endpoint, keeps frames
+// matching its own tag, and parks mismatched frames on the lane's per-tag
+// queues for the operation they belong to (bounded by the sender's pipe
+// depth, since a preempted sender has at most sendpool.PipeDepth frames in
+// flight). A pull error is sticky: it is published to every present and
+// future waiter on the lane, so the abort flood and transport teardown
+// propagate to both interleaved operations.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"aiacc/internal/bufpool"
+	"aiacc/mpi"
+)
+
+// plexTagBytes is the wire overhead per tagged frame.
+const plexTagBytes = 4
+
+// plexLane demultiplexes one (from, stream) receive lane by unit tag.
+type plexLane struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pulling bool
+	err     error // sticky: first pull or frame-format error
+	q       map[uint32][][]byte
+}
+
+// plexTable tags and demultiplexes the data streams of one communicator.
+type plexTable struct {
+	c     *mpi.Comm
+	size  int
+	lanes []plexLane // indexed stream*size + from
+}
+
+func newPlexTable(c *mpi.Comm, dataStreams int) *plexTable {
+	t := &plexTable{c: c, size: c.Size(), lanes: make([]plexLane, dataStreams*c.Size())}
+	for i := range t.lanes {
+		l := &t.lanes[i]
+		l.cond = sync.NewCond(&l.mu)
+		l.q = make(map[uint32][][]byte)
+	}
+	return t
+}
+
+func (t *plexTable) lane(from, stream int) *plexLane { return &t.lanes[stream*t.size+from] }
+
+// appendTag suffixes the unit tag to a wire buffer. The buffer almost always
+// has spare capacity (pool size classes are powers of two); when it does not,
+// the payload moves to a larger pooled buffer and the old one is recycled, so
+// the buffer-ownership ledger stays balanced.
+func appendTag(b []byte, tag uint32) []byte {
+	if cap(b)-len(b) < plexTagBytes {
+		nb := bufpool.Get(len(b) + plexTagBytes)
+		copy(nb, b)
+		bufpool.Put(b)
+		b = nb
+	} else {
+		b = b[:len(b)+plexTagBytes]
+	}
+	binary.LittleEndian.PutUint32(b[len(b)-plexTagBytes:], tag)
+	return b
+}
+
+// splitTag strips the tag suffix, returning the tag and the payload view
+// (same backing buffer, so recycling the view recycles the frame).
+func splitTag(b []byte) (uint32, []byte, error) {
+	if len(b) < plexTagBytes {
+		return 0, b, fmt.Errorf("engine: plex frame too short (%d bytes)", len(b))
+	}
+	n := len(b) - plexTagBytes
+	return binary.LittleEndian.Uint32(b[n:]), b[:n], nil
+}
+
+// send tags data and hands it to the real lane; ownership transfers as usual.
+func (t *plexTable) send(to, stream int, data []byte, tag uint32) error {
+	return t.c.Send(to, stream, appendTag(data, tag))
+}
+
+// recv returns the next frame tagged tag from the (from, stream) lane.
+func (t *plexTable) recv(from, stream int, tag uint32) ([]byte, error) {
+	l := t.lane(from, stream)
+	l.mu.Lock()
+	for {
+		// Frames queued for this tag drain before a sticky error surfaces:
+		// they arrived intact before the lane died.
+		if bufs := l.q[tag]; len(bufs) > 0 {
+			b := bufs[0]
+			bufs[0] = nil
+			l.q[tag] = bufs[1:]
+			l.mu.Unlock()
+			return b, nil
+		}
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return nil, err
+		}
+		if l.pulling {
+			l.cond.Wait()
+			continue
+		}
+		l.pulling = true
+		l.mu.Unlock()
+		payload, err := t.c.Recv(from, stream)
+		l.mu.Lock()
+		l.pulling = false
+		if err != nil {
+			l.err = err
+			l.cond.Broadcast()
+			continue
+		}
+		ptag, body, err := splitTag(payload)
+		if err != nil {
+			bufpool.Put(payload)
+			l.err = err
+			l.cond.Broadcast()
+			continue
+		}
+		if ptag == tag {
+			// Another waiter may need to take over pulling.
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return body, nil
+		}
+		l.q[ptag] = append(l.q[ptag], body)
+		l.cond.Broadcast()
+	}
+}
+
+// drain recycles every frame still parked on the per-tag queues — the
+// error-path remainder of operations that unwound before consuming them.
+func (t *plexTable) drain() {
+	for i := range t.lanes {
+		l := &t.lanes[i]
+		l.mu.Lock()
+		for tag, bufs := range l.q {
+			for _, b := range bufs {
+				bufpool.Put(b)
+			}
+			delete(l.q, tag)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// plexComm is the collective.Comm view of one unit's frames: sends tag with
+// the unit's sequence number, receives demultiplex by it. Rank topology and
+// aborts pass through to the real communicator (an abort poisons the whole
+// lane — both interleaved units must die with it).
+type plexComm struct {
+	t   *plexTable
+	tag uint32
+}
+
+func (p plexComm) Rank() int                    { return p.t.c.Rank() }
+func (p plexComm) Size() int                    { return p.t.c.Size() }
+func (p plexComm) GlobalRank(r int) (int, error) { return p.t.c.GlobalRank(r) }
+func (p plexComm) Abort(to, stream, origin int) error {
+	return p.t.c.Abort(to, stream, origin)
+}
+func (p plexComm) Send(to, stream int, data []byte) error {
+	return p.t.send(to, stream, data, p.tag)
+}
+func (p plexComm) Recv(from, stream int) ([]byte, error) {
+	return p.t.recv(from, stream, p.tag)
+}

@@ -1,0 +1,316 @@
+// Priority-driven unit scheduling (DESIGN.md §10).
+//
+// With Config.PriorityDepth > 0 the engine stops handing units to the
+// round-robin stream pool and instead runs a per-stream priority scheduler.
+// Units keep their deterministic stream assignment (Seq mod Streams — the
+// cross-rank implicit agreement is about which elements share a unit, not
+// about timing), but within a stream they queue by priority class and the
+// most urgent class always runs first. With at least two classes a stream
+// runs up to two units at once — the active one and a preemptor — multiplexed
+// over the same lane by the frame tagger (plex.go): when a more urgent unit
+// arrives, the running unit parks at its next segment boundary (the
+// collective's WithYield hook), the urgent unit claims the wire, and the
+// parked unit resumes from its completed segments once nothing more urgent is
+// active or queued. No wire bytes are re-sent and nothing is re-encoded; a
+// parked unit has at most sendpool.PipeDepth frames in flight, which the
+// preemptor's receive path parks on the lane's per-tag queues.
+//
+// Scheduling decisions are rank-local. Progress argument: a stream's gate
+// only parks a unit while a strictly more urgent unit is active or pending on
+// that stream; the most urgent unit on every stream never parks, and a
+// pending more-urgent unit without a free runner spawns one, so some unit
+// always drains the lane and the gate's blocking order is acyclic. On
+// failure (a unit's collective errors, or the engine closes) every gate opens
+// and parked units run into their poisoned lanes and unwind.
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"aiacc/collective"
+	"aiacc/internal/packing"
+)
+
+// schedConcurrency is the per-stream runner cap: one active unit plus one
+// preemptor. Deeper preemption nests would multiply in-flight lane state for
+// marginal gain — a third class preempts by queue order instead.
+const schedConcurrency = 2
+
+// unitTask is one queued unit with its scheduling metadata.
+type unitTask struct {
+	u     packing.Unit
+	class int
+	hol   bool // enqueued behind a strictly less urgent active unit
+	enq   time.Time
+}
+
+// streamSched is one stream's priority queue and runner state.
+type streamSched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [][]unitTask // by class, FIFO within a class
+	qBytes  []int64
+	active  [schedConcurrency]int // class per slot, -1 = free
+	runners int
+	open    bool // failure/close: all gates released
+}
+
+func newStreamSched(classes int) *streamSched {
+	st := &streamSched{
+		queues: make([][]unitTask, classes),
+		qBytes: make([]int64, classes),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	for i := range st.active {
+		st.active[i] = -1
+	}
+	return st
+}
+
+// pop removes the most urgent queued task. Caller holds st.mu.
+func (st *streamSched) pop() (unitTask, bool) {
+	for c := range st.queues {
+		if q := st.queues[c]; len(q) > 0 {
+			t := q[0]
+			q[0] = unitTask{}
+			st.queues[c] = q[1:]
+			st.qBytes[c] -= t.u.Bytes()
+			return t, true
+		}
+	}
+	return unitTask{}, false
+}
+
+// pendingBelow reports whether a class more urgent than c is queued. Caller
+// holds st.mu.
+func (st *streamSched) pendingBelow(c int) bool {
+	for cls := 0; cls < c && cls < len(st.queues); cls++ {
+		if len(st.queues[cls]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// moreUrgent reports whether the unit of class c running in slot should park:
+// a strictly more urgent unit is active in another slot or waiting in the
+// queue. Caller holds st.mu.
+func (st *streamSched) moreUrgent(c, slot int) bool {
+	if st.open {
+		return false
+	}
+	for i, a := range st.active {
+		if i != slot && a >= 0 && a < c {
+			return true
+		}
+	}
+	return st.pendingBelow(c)
+}
+
+// claim takes a free runner slot for a unit of class c. Caller holds st.mu.
+func (st *streamSched) claim(c int) int {
+	for i, a := range st.active {
+		if a < 0 {
+			st.active[i] = c
+			return i
+		}
+	}
+	// Unreachable: runners ≤ schedConcurrency and each holds one slot.
+	panic("engine: no free scheduler slot")
+}
+
+// minActive returns the most urgent active class, or a sentinel above every
+// class when idle. Caller holds st.mu.
+func (st *streamSched) minActive() int {
+	m := int(^uint(0) >> 1)
+	for _, a := range st.active {
+		if a >= 0 && a < m {
+			m = a
+		}
+	}
+	return m
+}
+
+// release frees a slot. Caller holds st.mu.
+func (st *streamSched) release(slot int) { st.active[slot] = -1 }
+
+// preemptive reports whether units can actually preempt each other: with a
+// single class the scheduler only fixes dispatch order.
+func (e *Engine) preemptive() bool { return e.classes >= 2 }
+
+// classOf quantizes a gradient priority (forward layer index) into one of the
+// engine's priority classes. Identical on every rank: priorities and the
+// layer range come from the registered model.
+func (e *Engine) classOf(priority int) int {
+	if e.classes <= 1 {
+		return 0
+	}
+	c := priority * e.classes / (e.maxPriority + 1)
+	if c >= e.classes {
+		c = e.classes - 1
+	}
+	return c
+}
+
+// dispatchSched enqueues a unit on its stream's priority queue, spawning a
+// runner when the stream is idle or when the unit warrants preemption.
+func (e *Engine) dispatchSched(u packing.Unit) {
+	class := e.classOf(u.Priority)
+	st := e.sched[u.Seq%e.cfg.Streams]
+
+	e.schedMu.Lock()
+	e.schedOut++
+	e.schedMu.Unlock()
+
+	t := unitTask{u: u, class: class, enq: clockStart()}
+	st.mu.Lock()
+	if e.preemptive() && st.runners == schedConcurrency && st.minActive() > class {
+		t.hol = true // parked behind strictly less urgent transfers
+	}
+	st.queues[class] = append(st.queues[class], t)
+	st.qBytes[class] += u.Bytes()
+	e.met.observeQueue(class, len(st.queues[class]), st.qBytes[class])
+	spawn := false
+	if st.runners == 0 ||
+		(e.preemptive() && st.runners < schedConcurrency && class < st.minActive()) {
+		st.runners++
+		spawn = true
+	}
+	st.mu.Unlock()
+	if spawn {
+		go e.schedRun(st)
+	}
+}
+
+// schedRun is one stream runner: it pops the most urgent queued unit, runs
+// its all-reduce (yielding to more urgent arrivals at segment boundaries),
+// and exits when the stream's queue is empty.
+func (e *Engine) schedRun(st *streamSched) {
+	for {
+		st.mu.Lock()
+		t, ok := st.pop()
+		if !ok {
+			st.runners--
+			st.mu.Unlock()
+			return
+		}
+		e.met.observeQueue(t.class, len(st.queues[t.class]), st.qBytes[t.class])
+		slot := st.claim(t.class)
+		// Removing a pending unit can open the gate for a parked one.
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		if t.hol && !t.enq.IsZero() {
+			e.met.holWaitNs.ObserveSince(t.enq)
+		}
+		err := e.runUnit(st, slot, t)
+		st.mu.Lock()
+		st.release(slot)
+		st.cond.Broadcast()
+		st.mu.Unlock()
+		e.unitDone(err)
+	}
+}
+
+// runUnit runs one scheduled unit's all-reduce through the tagging
+// multiplexer, with a yield gate at every segment boundary.
+func (e *Engine) runUnit(st *streamSched, slot int, t unitTask) error {
+	streamID := t.u.Seq % e.cfg.Streams
+	var (
+		preempted bool
+		preempts  int64
+		resumed   int64
+	)
+	yield := func() {
+		st.mu.Lock()
+		if st.moreUrgent(t.class, slot) {
+			if !preempted {
+				preempted = true
+				preempts++
+			}
+			for st.moreUrgent(t.class, slot) {
+				// Self-heal a missed spawn: a more urgent unit is pending
+				// with no runner free to take it — this parked runner's slot
+				// is occupied, so grow the runner set up to the cap.
+				if st.runners < schedConcurrency && st.pendingBelow(t.class) {
+					st.runners++
+					go e.schedRun(st)
+				}
+				st.cond.Wait()
+			}
+		}
+		if preempted {
+			resumed++ // a segment completed by a previously parked unit
+		}
+		st.mu.Unlock()
+	}
+	var comm collective.Comm = plexComm{t: e.plex, tag: uint32(t.u.Seq)}
+	err := e.reduceUnit(streamID, t.u, comm, yield)
+	if preempts > 0 {
+		e.met.preemptions.Add(preempts)
+		e.met.resumedSegs.Add(resumed)
+	}
+	return err
+}
+
+// unitDone retires one scheduled unit, recording its error and waking the
+// iteration tail wait. The first failure opens every gate: parked units must
+// run into their poisoned lanes and unwind rather than sleep forever.
+func (e *Engine) unitDone(err error) {
+	e.schedMu.Lock()
+	if err != nil && e.schedErr == nil {
+		e.schedErr = err
+	}
+	e.schedOut--
+	e.schedMu.Unlock()
+	e.schedCond.Broadcast()
+	if err != nil {
+		e.schedOpen()
+	}
+}
+
+// schedOpen releases every stream's yield gate permanently (failure or
+// close — both are terminal for the engine loop).
+func (e *Engine) schedOpen() {
+	for _, st := range e.sched {
+		st.mu.Lock()
+		st.open = true
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// schedWait blocks until every dispatched unit retired — the scheduled-mode
+// analogue of the stream pool's Wait — and returns the first unit error.
+func (e *Engine) schedWait() error {
+	e.schedMu.Lock()
+	defer e.schedMu.Unlock()
+	for e.schedOut > 0 && !e.schedStop {
+		e.schedCond.Wait()
+	}
+	if e.schedErr != nil {
+		return e.schedErr
+	}
+	if e.schedStop && e.schedOut > 0 {
+		return ErrClosed
+	}
+	return nil
+}
+
+// schedClose is the Close-path teardown: open the gates, wake the tail wait,
+// wait for in-flight units to retire (they fail fast once the transport goes
+// away, matching the stream pool's drain semantics), and recycle any frames
+// still parked on the demultiplexer queues.
+func (e *Engine) schedClose() {
+	e.schedMu.Lock()
+	e.schedStop = true
+	e.schedMu.Unlock()
+	e.schedCond.Broadcast()
+	e.schedOpen()
+	e.schedMu.Lock()
+	for e.schedOut > 0 {
+		e.schedCond.Wait()
+	}
+	e.schedMu.Unlock()
+	e.plex.drain()
+}

@@ -90,6 +90,13 @@ type Gradient struct {
 	Name string
 	// Elems is the number of float32 elements in the gradient tensor.
 	Elems int
+	// Priority orders gradients by urgency for the next forward pass: the
+	// forward layer index of the owning parameter (lower = needed sooner).
+	// Because every worker loads the same model, every worker registers the
+	// same priorities and the priority-driven unit order stays an implicit
+	// agreement, exactly like the name-sorted ids. Zero (the default) keeps
+	// all gradients equally urgent.
+	Priority int
 }
 
 // Bytes returns the wire size of the gradient in fp32.
@@ -111,17 +118,27 @@ func NewRegistry() *Registry {
 
 // Register adds a parameter's gradient. Must be called before Finalize.
 func (r *Registry) Register(name string, elems int) error {
+	return r.RegisterWithPriority(name, elems, 0)
+}
+
+// RegisterWithPriority adds a parameter's gradient with a scheduling priority
+// (its forward layer index; lower = the next forward pass needs it sooner).
+// Must be called before Finalize.
+func (r *Registry) RegisterWithPriority(name string, elems, priority int) error {
 	if r.finalized {
 		return ErrFinalized
 	}
 	if elems <= 0 {
 		return fmt.Errorf("gradsync: parameter %q has %d elements", name, elems)
 	}
+	if priority < 0 {
+		return fmt.Errorf("gradsync: parameter %q has negative priority %d", name, priority)
+	}
 	if _, ok := r.byName[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicate, name)
 	}
 	r.byName[name] = len(r.pending)
-	r.pending = append(r.pending, Gradient{Name: name, Elems: elems})
+	r.pending = append(r.pending, Gradient{Name: name, Elems: elems, Priority: priority})
 	return nil
 }
 

@@ -8,15 +8,27 @@
 // auto-tuner.
 //
 // Units are formed deterministically from the agreed gradient ids in
-// ascending order, so all workers derive identical unit layouts without
-// further communication — the "implicit agreement on communication order"
-// the paper relies on.
+// canonical (priority, id) order — reverse-topological with respect to the
+// backward pass: the gradients the *next forward* needs first (low layer
+// index, produced last by backprop) lead every batch. All workers derive
+// identical unit layouts without further communication — the "implicit
+// agreement on communication order" the paper relies on — because both the
+// ids (name-sorted) and the priorities (model layer order) are identical on
+// every worker. When no priorities are registered the canonical order
+// degenerates to ascending id order, the original behavior.
+//
+// The canonical order is the same whether or not the engine's priority
+// scheduler is enabled: scheduling changes *when* units are dispatched, never
+// which elements share a unit, so fp32 results stay bit-identical across
+// scheduler settings (ring reduction order is fixed by unit layout).
 package packing
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"aiacc/compress"
 	"aiacc/internal/gradsync"
 	"aiacc/tensor"
 )
@@ -49,18 +61,32 @@ type Unit struct {
 	Fragments []Fragment
 	// Elems is the total element count (= sum of fragment lengths).
 	Elems int
+	// Priority is the urgency class of the unit: the minimum gradient
+	// priority among its fragments (fragments are packed in priority order,
+	// so this is the first fragment's priority). Lower = the next forward
+	// pass needs it sooner. Identical on every rank, like Seq.
+	Priority int
 }
 
-// Bytes returns the unit's wire size in fp32.
+// Bytes returns the unit's logical payload size: pre-codec fp32 bytes
+// (Elems × 4). This is the "bytes reduced" notion used by granularity
+// targets, engine stats and the aiacc_engine_bytes_reduced metric; it is NOT
+// the wire size under a compressing codec — use WireBytes for that.
 func (u Unit) Bytes() int64 { return int64(u.Elems) * 4 }
+
+// WireBytes returns the unit's encoded size under the given codec — what one
+// ring-step chunk of it actually costs on the network (fp16 halves it).
+func (u Unit) WireBytes(codec compress.Codec) int64 { return codec.WireBytes(u.Elems) }
 
 // Packer splits/merges gradients into units of a target granularity.
 type Packer struct {
 	granularity int // elements per unit
 }
 
-// NewPacker returns a packer with the given granularity in *bytes* (the
-// auto-tuner's natural parameter); internally it packs fp32 elements.
+// NewPacker returns a packer with the given granularity in *bytes* of fp32
+// payload (the auto-tuner's natural parameter). Internally the packer works
+// in elements: granularityBytes/4, so a 4 MiB granularity packs 1 Mi-element
+// units. GranularityElems/GranularityBytes expose both views.
 func NewPacker(granularityBytes int64) (*Packer, error) {
 	if granularityBytes < 4 {
 		return nil, fmt.Errorf("%w: %d bytes", ErrBadGranularity, granularityBytes)
@@ -69,13 +95,47 @@ func NewPacker(granularityBytes int64) (*Packer, error) {
 }
 
 // Granularity returns the unit size in elements.
+//
+// Deprecated: the name is ambiguous about units (the constructor takes
+// bytes); use GranularityElems or GranularityBytes.
 func (p *Packer) Granularity() int { return p.granularity }
 
+// GranularityElems returns the unit size in float32 elements.
+func (p *Packer) GranularityElems() int { return p.granularity }
+
+// GranularityBytes returns the unit size in pre-codec fp32 bytes — the value
+// the packer was constructed with, rounded down to a whole element.
+func (p *Packer) GranularityBytes() int64 { return int64(p.granularity) * 4 }
+
 // Pack forms units from the given gradients (must be indexable by the ids in
-// readyIDs) in ascending id order, numbering them startSeq, startSeq+1, ….
-// Every returned unit has at most granularity elements; a gradient larger
-// than the granularity is split across consecutive units.
+// readyIDs) in canonical (priority, id) ascending order, numbering them
+// startSeq, startSeq+1, …. Every returned unit has at most granularity
+// elements; a gradient larger than the granularity is split across
+// consecutive units. readyIDs is not modified.
 func (p *Packer) Pack(byID func(id int) (gradsync.Gradient, error), readyIDs []int, startSeq int) ([]Unit, error) {
+	grads := make([]gradsync.Gradient, 0, len(readyIDs))
+	ordered := true
+	for _, id := range readyIDs {
+		g, err := byID(id)
+		if err != nil {
+			return nil, fmt.Errorf("pack gradient %d: %w", id, err)
+		}
+		if n := len(grads); n > 0 {
+			prev := grads[n-1]
+			if g.Priority < prev.Priority || (g.Priority == prev.Priority && g.ID < prev.ID) {
+				ordered = false
+			}
+		}
+		grads = append(grads, g)
+	}
+	if !ordered {
+		sort.Slice(grads, func(i, j int) bool {
+			if grads[i].Priority != grads[j].Priority {
+				return grads[i].Priority < grads[j].Priority
+			}
+			return grads[i].ID < grads[j].ID
+		})
+	}
 	var units []Unit
 	cur := Unit{Seq: startSeq}
 	flush := func() {
@@ -84,11 +144,7 @@ func (p *Packer) Pack(byID func(id int) (gradsync.Gradient, error), readyIDs []i
 			cur = Unit{Seq: startSeq + len(units)}
 		}
 	}
-	for _, id := range readyIDs {
-		g, err := byID(id)
-		if err != nil {
-			return nil, fmt.Errorf("pack gradient %d: %w", id, err)
-		}
+	for _, g := range grads {
 		// A gradient that fits within one unit is never split: if it does
 		// not fit the current unit's remaining room, the unit is flushed
 		// and the gradient starts the next one. Only gradients larger than
@@ -104,11 +160,14 @@ func (p *Packer) Pack(byID func(id int) (gradsync.Gradient, error), readyIDs []i
 				flush()
 				room = p.granularity
 			}
+			if cur.Elems == 0 {
+				cur.Priority = g.Priority
+			}
 			span := remaining
 			if span > room {
 				span = room
 			}
-			cur.Fragments = append(cur.Fragments, Fragment{GradID: id, Offset: offset, Elems: span})
+			cur.Fragments = append(cur.Fragments, Fragment{GradID: g.ID, Offset: offset, Elems: span})
 			cur.Elems += span
 			offset += span
 			remaining -= span

@@ -114,14 +114,15 @@ func TestPackEmptyAndOrder(t *testing.T) {
 	if err != nil || len(units) != 0 {
 		t.Errorf("empty ready set: %v units, err %v", len(units), err)
 	}
-	// Ready ids out of ascending order are packed in the order given —
-	// callers (the session) always pass ascending ids.
+	// Ready ids out of ascending order are restored to the canonical
+	// (priority, id) order — with equal priorities, ascending id — so every
+	// rank derives the same layout regardless of local readiness order.
 	units, err = p.Pack(fixedGrads(4, 4, 4), []int{2, 0}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if units[0].Fragments[0].GradID != 2 || units[0].Fragments[1].GradID != 0 {
-		t.Error("pack order must follow the provided id order")
+	if units[0].Fragments[0].GradID != 0 || units[0].Fragments[1].GradID != 2 {
+		t.Error("pack order must be canonical (priority, id) ascending")
 	}
 }
 

@@ -31,6 +31,11 @@ type Param struct {
 	Weight *tensor.Tensor
 	// Grad is the gradient tensor; it is read, never written.
 	Grad *tensor.Tensor
+	// Layer is the forward layer index the parameter belongs to (0 = first
+	// layer the next forward pass needs). Communication engines that
+	// schedule by priority use it to order gradient transfers; 0 for all
+	// parameters degenerates to unprioritized behavior.
+	Layer int
 }
 
 // Optimizer updates parameters from gradients. Step is called once per

@@ -67,8 +67,8 @@ func (m *MLP) Params() []optimizer.Param {
 	params := make([]optimizer.Param, 0, 2*len(m.weights))
 	for l := range m.weights {
 		params = append(params,
-			optimizer.Param{Name: fmt.Sprintf("fc%d.weight", l+1), Weight: m.weights[l], Grad: m.gradW[l]},
-			optimizer.Param{Name: fmt.Sprintf("fc%d.bias", l+1), Weight: m.biases[l], Grad: m.gradB[l]},
+			optimizer.Param{Name: fmt.Sprintf("fc%d.weight", l+1), Weight: m.weights[l], Grad: m.gradW[l], Layer: l},
+			optimizer.Param{Name: fmt.Sprintf("fc%d.bias", l+1), Weight: m.biases[l], Grad: m.gradB[l], Layer: l},
 		)
 	}
 	return params

@@ -49,6 +49,14 @@ type broadcaster interface {
 	Broadcast(t *tensor.Tensor, root int) error
 }
 
+// priorityRegistrar is implemented by engines whose scheduler orders
+// gradient transfers by forward layer index (the AIACC engine's
+// priority-driven bucket scheduler); engines without it register flat and
+// ignore layer information.
+type priorityRegistrar interface {
+	RegisterWithPriority(name string, elems, priority int) error
+}
+
 // Trainer couples a Producer, a communication engine and an optimizer into a
 // live data-parallel training loop: Compute → push gradients (reverse layer
 // order) → wait for aggregation → optimizer step.
@@ -84,8 +92,15 @@ func NewTrainerWithEngine(eng CommEngine, producer Producer, opt optimizer.Optim
 		return nil, errors.New("train: nil engine, producer or optimizer")
 	}
 	params := producer.Params()
+	pr, prioritized := eng.(priorityRegistrar)
 	for _, p := range params {
-		if err := eng.Register(p.Name, p.Weight.Len()); err != nil {
+		var err error
+		if prioritized {
+			err = pr.RegisterWithPriority(p.Name, p.Weight.Len(), p.Layer)
+		} else {
+			err = eng.Register(p.Name, p.Weight.Len())
+		}
+		if err != nil {
 			return nil, fmt.Errorf("register %q: %w", p.Name, err)
 		}
 	}
@@ -208,6 +223,7 @@ func NewSyntheticProducer(m model.Model, rank int) *SyntheticProducer {
 			Name:   p.Name,
 			Weight: tensor.New(p.Elems),
 			Grad:   tensor.New(p.Elems),
+			Layer:  p.Layer,
 		})
 	}
 	return sp
